@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Section 7's coin toss: when does an optimum notion of belief exist?
+
+Belief in the paper is parameterized by a vector of *good runs* per
+principal.  The iterative construction computes one from the initial
+assumptions, and:
+
+* **Theorem 2** — under restriction I1 the construction supports the
+  assumptions;
+* **Theorem 3** — under I1 + I2 it is the *optimum* (maximum)
+  supporting vector;
+* the **coin-toss counterexample** shows I2 is necessary: with mutually
+  mistaken nested beliefs, there is no maximum at all.
+
+Run:  python examples/coin_toss_belief.py
+"""
+
+from repro.goodruns import (
+    build_cointoss_example,
+    build_corrected_cointoss_example,
+    construct_good_runs,
+    enumerate_supporting_vectors,
+    optimality_report,
+    supports,
+)
+from repro.semantics import Evaluator
+from repro.terms import Believes
+
+
+def show(example, title: str) -> None:
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print("initial assumptions:")
+    for principal, formula in example.assumptions.all_formulas():
+        print(f"  {formula}")
+    print("I2 satisfied:", example.assumptions.satisfies_i2())
+
+    result = construct_good_runs(example.system, example.assumptions)
+    print("\niterative construction:")
+    for depth, stage in enumerate(result.stages):
+        print(f"  G^{depth} = {stage.describe()}")
+    print("supports I:", supports(example.system, result.vector,
+                                  example.assumptions))
+
+    report = optimality_report(example.system, example.assumptions)
+    print(f"\nsupporting vectors found by exhaustive search: "
+          f"{len(report.supporting)}")
+    if report.has_optimum:
+        print("optimum exists:", report.maximum.describe())
+        print("construction is optimum:",
+              report.is_optimum(result.vector, example.system))
+    else:
+        print("NO optimum exists — the supporting vectors have no maximum")
+
+    evaluator = Evaluator(example.system, result.vector)
+    heads_run = example.system.run("run-heads")
+    belief = Believes(example.p1, example.tails)
+    print(
+        f"\nrelative to the constructed vector, at time 0 of run-heads:"
+        f"\n  {belief} = "
+        f"{evaluator.evaluate(belief, heads_run, 0)}"
+        f"\n  {example.tails} = "
+        f"{evaluator.evaluate(example.tails, heads_run, 0)}"
+        "\n  (beliefs may be mistaken: (P believes φ) ⊃ φ is not valid)"
+    )
+    print()
+
+
+def main() -> None:
+    show(
+        build_cointoss_example(),
+        "Mutually mistaken beliefs (the paper's counterexample)",
+    )
+    show(
+        build_corrected_cointoss_example(),
+        "Corrected beliefs satisfying I2 (Theorem 3 applies)",
+    )
+
+
+def knowing_only_appendix() -> None:
+    """Appendix: the Halpern-Moses obstruction behind restriction I1."""
+    from repro.goodruns import (
+        build_knowing_only_example,
+        demonstrate_no_best_state,
+    )
+
+    print("=" * 72)
+    print("Why I1 bans belief under negation (Halpern-Moses)")
+    print("=" * 72)
+    example = build_knowing_only_example()
+    print(f"requirement: {example.disjunction}")
+    maxima = demonstrate_no_best_state()
+    print("maximal vectors meeting it:")
+    for vector in maxima:
+        print(f"  {vector.describe()}")
+    print(
+        "two incomparable 'states of knowledge', no maximum —\n"
+        "so no best notion of belief supports the disjunction."
+    )
+
+
+if __name__ == "__main__":
+    main()
+    knowing_only_appendix()

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``corpus``
+    Render the corpus-wide BAN-vs-AT findings table (experiment E10).
+
+``analyze NAME [--logic {ban,at}] [--explain GOAL] [--certify GOAL]``
+    Run one protocol's annotation and print the goal outcomes; with
+    ``--explain`` also print the derivation tree of a goal, and with
+    ``--certify`` compile the goal into a checked Hilbert proof.
+
+``sweep [--systems N] [--instances M] [--seed S]``
+    Run the empirical Theorem 1 soundness sweep (experiment E3).
+
+``cointoss``
+    Walk the Section 7 construction and optimality story (E5-E7).
+
+``experiments``
+    Run all experiment assertions E1-E14 and print a summary line each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import analyze, compare_corpus
+from repro.protocols import (
+    andrew_rpc,
+    forwarding,
+    kerberos,
+    needham_schroeder,
+    otway_rees,
+    wide_mouth_frog,
+    x509,
+    yahalom,
+)
+
+_PROTOCOLS = {
+    "kerberos": kerberos,
+    "needham-schroeder": needham_schroeder,
+    "otway-rees": otway_rees,
+    "yahalom": yahalom,
+    "wide-mouth-frog": wide_mouth_frog,
+    "andrew-rpc": andrew_rpc,
+    "courier": forwarding,
+    "ccitt-x509": x509,
+}
+
+
+def _cmd_corpus(_args: argparse.Namespace) -> int:
+    table = compare_corpus()
+    print(table.render())
+    return 0 if table.all_as_expected else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    module = _PROTOCOLS.get(args.name)
+    if module is None:
+        print(f"unknown protocol {args.name!r}; choose from: "
+              f"{', '.join(sorted(_PROTOCOLS))}", file=sys.stderr)
+        return 2
+    protocol = (
+        module.ban_protocol() if args.logic == "ban" else module.at_protocol()
+    )
+    report = analyze(protocol)
+    print(report.pretty())
+    if args.explain:
+        print()
+        print(f"derivation of {args.explain}:")
+        print(report.explain_goal(args.explain))
+    if args.certify:
+        from repro.logic import certify
+
+        goal = next(
+            (r.goal for r in report.goal_results
+             if r.goal.label == args.certify),
+            None,
+        )
+        if goal is None:
+            print(f"no goal labelled {args.certify!r}", file=sys.stderr)
+            return 2
+        proof = certify(report.derivation, goal.formula)
+        proof.check()
+        print()
+        print(
+            f"certified {goal.label}: {len(proof.steps)}-step Hilbert "
+            f"proof from {len(proof.premises)} premises (checked)"
+        )
+        print(proof.pretty())
+    return 0 if report.all_as_expected else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.soundness import generate_systems, sweep_systems
+
+    systems = generate_systems(args.systems, base_seed=args.seed)
+    report = sweep_systems(systems, max_instances_per_schema=args.instances)
+    print(report.render())
+    for violation in report.essential_violations[:10]:
+        print(" !", violation)
+    return 0 if not report.essential_violations else 1
+
+
+def _cmd_cointoss(_args: argparse.Namespace) -> int:
+    from repro.goodruns import (
+        build_cointoss_example,
+        build_corrected_cointoss_example,
+        construct_good_runs,
+        optimality_report,
+        supports,
+    )
+
+    for example, label in (
+        (build_cointoss_example(), "mutually mistaken (no I2)"),
+        (build_corrected_cointoss_example(), "corrected (I2 holds)"),
+    ):
+        result = construct_good_runs(example.system, example.assumptions)
+        report = optimality_report(example.system, example.assumptions)
+        print(f"--- {label} ---")
+        for depth, stage in enumerate(result.stages):
+            print(f"  G^{depth} = {stage.describe()}")
+        print(f"  supports I: "
+              f"{supports(example.system, result.vector, example.assumptions)}")
+        print(f"  supporting vectors: {len(report.supporting)}; "
+              f"optimum exists: {report.has_optimum}")
+    return 0
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    import subprocess
+
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", "tests/test_experiments.py", "-v"]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Abadi & Tuttle, PODC 1991",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("corpus", help="render the E10 findings table")
+
+    analyze_parser = sub.add_parser("analyze", help="analyze one protocol")
+    analyze_parser.add_argument("name", choices=sorted(_PROTOCOLS))
+    analyze_parser.add_argument("--logic", choices=["ban", "at"],
+                                default="at")
+    analyze_parser.add_argument("--explain", metavar="GOAL", default=None)
+    analyze_parser.add_argument("--certify", metavar="GOAL", default=None)
+
+    sweep_parser = sub.add_parser("sweep", help="empirical Theorem 1 (E3)")
+    sweep_parser.add_argument("--systems", type=int, default=3)
+    sweep_parser.add_argument("--instances", type=int, default=60)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("cointoss", help="the Section 7 story (E5-E7)")
+    sub.add_parser("experiments", help="run all E1-E14 assertions")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "corpus": _cmd_corpus,
+        "analyze": _cmd_analyze,
+        "sweep": _cmd_sweep,
+        "cointoss": _cmd_cointoss,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

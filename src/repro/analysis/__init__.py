@@ -1,0 +1,25 @@
+"""Protocol annotation and corpus comparison (Sections 2.3 / 4.3)."""
+
+from repro.analysis.annotate import (
+    AnalysisReport,
+    GoalResult,
+    StepAnnotation,
+    analyze,
+    build_pool,
+    make_engine,
+    step_assertions,
+)
+from repro.analysis.compare import ComparisonRow, ComparisonTable, compare_corpus
+
+__all__ = [
+    "AnalysisReport",
+    "GoalResult",
+    "StepAnnotation",
+    "analyze",
+    "build_pool",
+    "make_engine",
+    "step_assertions",
+    "ComparisonRow",
+    "ComparisonTable",
+    "compare_corpus",
+]

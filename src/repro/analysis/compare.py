@@ -1,0 +1,78 @@
+"""Corpus-wide comparison of the two logics (experiment E10).
+
+Runs every protocol of the corpus through its engine, collects goal
+outcomes, and renders the comparison table EXPERIMENTS.md reports —
+the machine-checked version of BAN89's published findings plus the
+AT91 reformulation's behaviour on the same protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.annotate import AnalysisReport, analyze
+from repro.protocols import corpus
+from repro.protocols.base import IdealizedProtocol
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    protocol: str
+    logic: str
+    goal: str
+    achieved: bool
+    expected: bool
+    note: str
+
+    @property
+    def as_expected(self) -> bool:
+        return self.achieved == self.expected
+
+
+@dataclass(frozen=True)
+class ComparisonTable:
+    rows: tuple[ComparisonRow, ...]
+
+    @property
+    def all_as_expected(self) -> bool:
+        return all(row.as_expected for row in self.rows)
+
+    def mismatches(self) -> tuple[ComparisonRow, ...]:
+        return tuple(row for row in self.rows if not row.as_expected)
+
+    def render(self) -> str:
+        header = f"{'protocol':<28} {'logic':<5} {'goal':<22} {'result':<12} ok"
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            result = "derived" if row.achieved else "not derived"
+            ok = "✓" if row.as_expected else "✗ UNEXPECTED"
+            lines.append(
+                f"{row.protocol:<28} {row.logic:<5} {row.goal:<22} "
+                f"{result:<12} {ok}"
+            )
+        return "\n".join(lines)
+
+
+def compare_corpus(
+    protocols: tuple[IdealizedProtocol, ...] | None = None,
+) -> ComparisonTable:
+    """Analyze the corpus and tabulate every goal outcome."""
+    rows: list[ComparisonRow] = []
+    for protocol in protocols or corpus():
+        report = analyze(protocol)
+        rows.extend(_rows_of(report))
+    return ComparisonTable(tuple(rows))
+
+
+def _rows_of(report: AnalysisReport) -> list[ComparisonRow]:
+    return [
+        ComparisonRow(
+            protocol=report.protocol.name,
+            logic=report.engine_logic,
+            goal=result.goal.label,
+            achieved=result.achieved,
+            expected=result.goal.expected,
+            note=result.goal.note,
+        )
+        for result in report.goal_results
+    ]

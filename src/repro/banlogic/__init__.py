@@ -1,0 +1,39 @@
+"""The original BAN logic of authentication (Section 2).
+
+The inference rules of Burrows, Abadi & Needham as reviewed by the
+paper, runnable through the shared forward-chaining engine.
+"""
+
+from repro.banlogic.rules import (
+    BanFreshness,
+    BanJurisdiction,
+    BanMessageMeaningKey,
+    BanMessageMeaningPublicKey,
+    BanMessageMeaningSecret,
+    BanSeesDecryptOwnPublic,
+    BanSeesVerifySignature,
+    BanNonceVerification,
+    BanSaidComponents,
+    BanSeesComponents,
+    BanSeesDecrypt,
+    BanSharedKeySymmetry,
+    BanSharedSecretSymmetry,
+    ban_rules,
+)
+
+__all__ = [
+    "BanFreshness",
+    "BanJurisdiction",
+    "BanMessageMeaningKey",
+    "BanMessageMeaningPublicKey",
+    "BanMessageMeaningSecret",
+    "BanSeesDecryptOwnPublic",
+    "BanSeesVerifySignature",
+    "BanNonceVerification",
+    "BanSaidComponents",
+    "BanSeesComponents",
+    "BanSeesDecrypt",
+    "BanSharedKeySymmetry",
+    "BanSharedSecretSymmetry",
+    "ban_rules",
+]

@@ -1,0 +1,428 @@
+"""The inference rules of the original BAN logic (Section 2.2).
+
+These are the rules of Burrows-Abadi-Needham as reviewed by the paper,
+implemented verbatim — including their quirks, which Section 3 is all
+about:
+
+* **nonce verification** promotes "Q said X" to "Q believes X" via the
+  implicit *honesty* assumption (Section 3.2 argues this is not
+  well-defined in general);
+* "believing" a key is good implicitly grants the *ability to use it*
+  (the seeing-decrypt rule needs no ``has`` premise — Section 3.1);
+* messages and formulas are conflated: nonce verification can conclude
+  "P believes Q believes Ts" for a nonce Ts, "which doesn't make much
+  sense" (Section 3.3).  Our ADT distinguishes the sorts, so such
+  conclusions are simply dropped — the test suite exhibits the quirk.
+
+Rules are applied inside belief prefixes the way BAN proofs use them
+(e.g. the belief rule for nested beliefs, the shared-key rules in both
+plain and believed forms).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.logic.engine import Inference, MessagePool, Rule
+from repro.logic.facts import Fact, FactIndex
+from repro.terms.atoms import Principal, PrivateKey, PublicKey
+from repro.terms.base import Message
+from repro.terms.formulas import (
+    Controls,
+    Formula,
+    Fresh,
+    PublicKeyOf,
+    Said,
+    Sees,
+    SharedKey,
+    SharedSecret,
+    believes_chain,
+)
+from repro.terms.messages import Combined, Encrypted, Group, group_parts
+
+
+class BanMessageMeaningKey:
+    """If P believes Q <-K-> P and P sees {X^R}_K (R ≠ P), then
+    P believes Q said X."""
+
+    name = "BAN-MM-key"
+    justification = "BAN message-meaning rule (shared keys), honesty-free"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for sees_fact in index.with_body_type((), Sees):
+            sees = sees_fact.body
+            assert isinstance(sees, Sees)
+            message = sees.message
+            if not isinstance(message, Encrypted):
+                continue
+            receiver = sees.principal
+            if not isinstance(receiver, Principal):
+                continue
+            if message.sender == receiver:
+                continue  # side condition P ≠ R: ignore own messages
+            for key_fact in index.with_body_type((receiver,), SharedKey):
+                shared = key_fact.body
+                assert isinstance(shared, SharedKey)
+                if shared.key != message.key or shared.right != receiver:
+                    continue
+                yield Inference(
+                    Fact((receiver,), Said(shared.left, message.body)),
+                    self.name,
+                    (key_fact, sees_fact),
+                )
+
+
+class BanMessageMeaningSecret:
+    """If P believes Q <-Y-> P and P sees (X^R)_Y (R ≠ P), then
+    P believes Q said X."""
+
+    name = "BAN-MM-secret"
+    justification = "BAN message-meaning rule (shared secrets)"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for sees_fact in index.with_body_type((), Sees):
+            sees = sees_fact.body
+            assert isinstance(sees, Sees)
+            message = sees.message
+            if not isinstance(message, Combined):
+                continue
+            receiver = sees.principal
+            if not isinstance(receiver, Principal):
+                continue
+            if message.sender == receiver:
+                continue
+            for secret_fact in index.with_body_type((receiver,), SharedSecret):
+                shared = secret_fact.body
+                assert isinstance(shared, SharedSecret)
+                if shared.secret != message.secret or shared.right != receiver:
+                    continue
+                yield Inference(
+                    Fact((receiver,), Said(shared.left, message.body)),
+                    self.name,
+                    (secret_fact, sees_fact),
+                )
+
+
+class BanMessageMeaningPublicKey:
+    """If P believes pk(Q, K) and P sees {X}_K⁻¹, then P believes
+    Q said X — the BAN89 public-key (signature) message-meaning rule."""
+
+    name = "BAN-MM-pk"
+    justification = "BAN message-meaning rule (public keys)"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for sees_fact in index.with_body_type((), Sees):
+            sees = sees_fact.body
+            assert isinstance(sees, Sees)
+            message = sees.message
+            if not isinstance(message, Encrypted):
+                continue
+            if not isinstance(message.key, PrivateKey):
+                continue
+            receiver = sees.principal
+            if not isinstance(receiver, Principal):
+                continue
+            for pk_fact in index.with_body_type((receiver,), PublicKeyOf):
+                owner = pk_fact.body
+                assert isinstance(owner, PublicKeyOf)
+                if owner.key != message.key.partner:
+                    continue
+                yield Inference(
+                    Fact((receiver,), Said(owner.principal, message.body)),
+                    self.name,
+                    (pk_fact, sees_fact),
+                )
+
+
+class BanSeesVerifySignature:
+    """If P believes pk(Q, K) and P sees {X}_K⁻¹, then P sees X —
+    signature verification needs only the public key, which in BAN's
+    style rides along with the pk belief."""
+
+    name = "BAN-SEE-pk"
+    justification = "BAN seeing rule (signature verification)"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for sees_fact in index.with_body_type((), Sees):
+            sees = sees_fact.body
+            assert isinstance(sees, Sees)
+            message = sees.message
+            if not isinstance(message, Encrypted):
+                continue
+            if not isinstance(message.key, PrivateKey):
+                continue
+            receiver = sees.principal
+            if not isinstance(receiver, Principal):
+                continue
+            for pk_fact in index.with_body_type((receiver,), PublicKeyOf):
+                owner = pk_fact.body
+                assert isinstance(owner, PublicKeyOf)
+                if owner.key != message.key.partner:
+                    continue
+                yield Inference(
+                    Fact((), Sees(receiver, message.body)),
+                    self.name,
+                    (pk_fact, sees_fact),
+                )
+
+
+class BanSeesDecryptOwnPublic:
+    """If P believes pk(P, K) (its own key pair) and P sees {X}_K,
+    then P sees X — decryption with one's own private key, which in
+    BAN's belief-implies-ability style rides along with the pk belief
+    (Section 3.1's critique applies here too)."""
+
+    name = "BAN-SEE-own-pk"
+    justification = "BAN seeing rule (own public-key decryption)"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for sees_fact in index.with_body_type((), Sees):
+            sees = sees_fact.body
+            assert isinstance(sees, Sees)
+            message = sees.message
+            if not isinstance(message, Encrypted):
+                continue
+            if not isinstance(message.key, PublicKey):
+                continue
+            receiver = sees.principal
+            if not isinstance(receiver, Principal):
+                continue
+            for pk_fact in index.with_body_type((receiver,), PublicKeyOf):
+                owner = pk_fact.body
+                assert isinstance(owner, PublicKeyOf)
+                if owner.key != message.key or owner.principal != receiver:
+                    continue
+                yield Inference(
+                    Fact((), Sees(receiver, message.body)),
+                    self.name,
+                    (pk_fact, sees_fact),
+                )
+
+
+class BanNonceVerification:
+    """If P believes fresh(X) and P believes Q said X, then P believes
+    Q *believes* X — the honesty-dependent rule (Section 3.2).
+
+    Conclusions are produced for each formula component of X; components
+    that are not formulas (nonces, keys, ciphertexts) cannot be believed
+    in a two-sorted language and are dropped, exhibiting the original
+    logic's sort confusion (Section 3.3).
+    """
+
+    name = "BAN-NV"
+    justification = "BAN nonce-verification rule (assumes honesty)"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for prefix in index.prefixes():
+            if not prefix:
+                continue  # the rule lives inside someone's beliefs
+            fresh_facts = index.with_body_type(prefix, Fresh)
+            if not fresh_facts:
+                continue
+            fresh_messages = {
+                fact.body.message: fact  # type: ignore[union-attr]
+                for fact in fresh_facts
+            }
+            for said_fact in index.with_body_type(prefix, Said):
+                said = said_fact.body
+                assert isinstance(said, Said)
+                fresh_fact = fresh_messages.get(said.message)
+                if fresh_fact is None:
+                    continue
+                sayer = said.principal
+                if not isinstance(sayer, Principal):
+                    continue
+                for part in group_parts(said.message):
+                    if isinstance(part, Formula):
+                        yield Inference(
+                            believes_chain(prefix + (sayer,), part),
+                            self.name,
+                            (fresh_fact, said_fact),
+                        )
+
+
+class BanJurisdiction:
+    """If P believes Q controls X and P believes Q believes X, then
+    P believes X."""
+
+    name = "BAN-JUR"
+    justification = "BAN jurisdiction rule"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for prefix in index.prefixes():
+            if not prefix:
+                continue
+            for controls_fact in index.with_body_type(prefix, Controls):
+                controls = controls_fact.body
+                assert isinstance(controls, Controls)
+                authority = controls.principal
+                if not isinstance(authority, Principal):
+                    continue
+                from repro.logic.facts import normalize_to_facts
+
+                nested = tuple(
+                    Fact(prefix + (authority,) + sub.prefix, sub.body)
+                    for sub in normalize_to_facts(controls.body)
+                )
+                if all(fact in index for fact in nested):
+                    yield Inference(
+                        believes_chain(prefix, controls.body),
+                        self.name,
+                        (controls_fact, *nested),
+                    )
+
+
+class BanSaidComponents:
+    """If P believes Q said (X, Y) then P believes Q said X (saying rule)."""
+
+    name = "BAN-SAY"
+    justification = "BAN saying rule (components of said messages)"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for prefix in index.prefixes():
+            for fact in index.with_body_type(prefix, Said):
+                said = fact.body
+                assert isinstance(said, Said)
+                if not isinstance(said.message, Group):
+                    continue
+                for part in said.message.parts:
+                    yield Inference(
+                        Fact(prefix, Said(said.principal, part)),
+                        self.name,
+                        (fact,),
+                    )
+
+
+class BanSeesComponents:
+    """P sees (X, Y) ⊢ P sees X; P sees (X)_Y ⊢ P sees X (seeing rules)."""
+
+    name = "BAN-SEE"
+    justification = "BAN seeing rules (tuples and combinations)"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for prefix in index.prefixes():
+            for fact in index.with_body_type(prefix, Sees):
+                sees = fact.body
+                assert isinstance(sees, Sees)
+                message = sees.message
+                if isinstance(message, Group):
+                    parts: tuple[Message, ...] = message.parts
+                elif isinstance(message, Combined):
+                    parts = (message.body,)
+                else:
+                    continue
+                for part in parts:
+                    yield Inference(
+                        Fact(prefix, Sees(sees.principal, part)),
+                        self.name,
+                        (fact,),
+                    )
+
+
+class BanSeesDecrypt:
+    """If P believes Q <-K-> P and P sees {X}_K, then P sees X.
+
+    Note the Section 3.1 critique made concrete: *believing* the key is
+    good stands in for *possessing* it — there is no ``has`` premise.
+    """
+
+    name = "BAN-SEE-KEY"
+    justification = "BAN seeing rule (decryption via believed keys)"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for sees_fact in index.with_body_type((), Sees):
+            sees = sees_fact.body
+            assert isinstance(sees, Sees)
+            message = sees.message
+            if not isinstance(message, Encrypted):
+                continue
+            receiver = sees.principal
+            if not isinstance(receiver, Principal):
+                continue
+            for key_fact in index.with_body_type((receiver,), SharedKey):
+                shared = key_fact.body
+                assert isinstance(shared, SharedKey)
+                if shared.key != message.key or shared.right != receiver:
+                    continue
+                yield Inference(
+                    Fact((), Sees(receiver, message.body)),
+                    self.name,
+                    (key_fact, sees_fact),
+                )
+
+
+class BanFreshness:
+    """If P believes fresh(X) then P believes fresh((X, Y)) — only the
+    tuple form appears in the original rule set."""
+
+    name = "BAN-FRESH"
+    justification = "BAN freshness rule (tuples with a fresh component)"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for prefix in index.prefixes():
+            for fact in index.with_body_type(prefix, Fresh):
+                fresh = fact.body
+                assert isinstance(fresh, Fresh)
+                for container in pool.supermessages(fresh.message):
+                    if isinstance(container, Group):
+                        yield Inference(
+                            Fact(prefix, Fresh(container)), self.name, (fact,)
+                        )
+
+
+class BanSharedKeySymmetry:
+    """Shared keys work in both directions, also under beliefs."""
+
+    name = "BAN-SYM-key"
+    justification = "BAN shared-key rules (symmetry, plain and believed)"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for prefix in index.prefixes():
+            for fact in index.with_body_type(prefix, SharedKey):
+                shared = fact.body
+                assert isinstance(shared, SharedKey)
+                yield Inference(
+                    Fact(prefix, SharedKey(shared.right, shared.key, shared.left)),
+                    self.name,
+                    (fact,),
+                )
+
+
+class BanSharedSecretSymmetry:
+    """Shared secrets work in both directions, also under beliefs."""
+
+    name = "BAN-SYM-secret"
+    justification = "BAN shared-secret rules (symmetry, plain and believed)"
+
+    def apply(self, index: FactIndex, pool: MessagePool) -> Iterator[Inference]:
+        for prefix in index.prefixes():
+            for fact in index.with_body_type(prefix, SharedSecret):
+                shared = fact.body
+                assert isinstance(shared, SharedSecret)
+                yield Inference(
+                    Fact(
+                        prefix,
+                        SharedSecret(shared.right, shared.secret, shared.left),
+                    ),
+                    self.name,
+                    (fact,),
+                )
+
+
+def ban_rules() -> tuple[Rule, ...]:
+    """The original BAN rule set (Section 2.2)."""
+    return (
+        BanSharedKeySymmetry(),
+        BanSharedSecretSymmetry(),
+        BanSeesComponents(),
+        BanSeesDecrypt(),
+        BanMessageMeaningKey(),
+        BanMessageMeaningPublicKey(),
+        BanMessageMeaningSecret(),
+        BanSeesVerifySignature(),
+        BanSeesDecryptOwnPublic(),
+        BanSaidComponents(),
+        BanNonceVerification(),
+        BanJurisdiction(),
+        BanFreshness(),
+    )

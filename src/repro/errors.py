@@ -1,0 +1,65 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TermError(ReproError):
+    """An ill-formed message or formula was constructed."""
+
+
+class ParseError(ReproError):
+    """The surface-syntax parser rejected its input.
+
+    Attributes:
+        text: the full input string.
+        position: character offset at which parsing failed.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = 0) -> None:
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class VocabularyError(ReproError):
+    """An identifier was not declared, or was declared inconsistently."""
+
+
+class ModelError(ReproError):
+    """An ill-formed model component (state, run, system) was built."""
+
+
+class WellFormednessError(ModelError):
+    """A run violates one of the paper's well-formedness conditions WF1-WF5."""
+
+    def __init__(self, condition: str, message: str) -> None:
+        super().__init__(f"{condition}: {message}")
+        self.condition = condition
+
+
+class SemanticsError(ReproError):
+    """A formula could not be evaluated (unbound parameter, bad point, ...)."""
+
+
+class ProofError(ReproError):
+    """A Hilbert-style proof failed to check."""
+
+
+class EngineError(ReproError):
+    """A derivation engine was misused or exceeded its resource bounds."""
+
+
+class AssumptionError(ReproError):
+    """An initial-assumption vector violates restriction I1 (or is malformed)."""
+
+
+class ProtocolError(ReproError):
+    """An idealized or concrete protocol description is malformed."""

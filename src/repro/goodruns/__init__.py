@@ -1,0 +1,74 @@
+"""Choosing the good runs (Section 7).
+
+Initial-assumption vectors, the iterative construction of good-run
+sets, support and optimality checking, the coin-toss counterexample
+showing optimality can fail without restriction I2, and the relation to
+Shoham-Moses defensible knowledge.
+"""
+
+from repro.goodruns.assumptions import InitialAssumptions, normalize_assumption
+from repro.goodruns.cointoss import (
+    RUN_HEADS,
+    RUN_TAILS,
+    CoinTossExample,
+    build_cointoss_example,
+    build_corrected_cointoss_example,
+)
+from repro.goodruns.construction import (
+    ConstructionResult,
+    construct_good_runs,
+    supports,
+    unsupported_assumptions,
+)
+from repro.goodruns.knowing_only import (
+    RUN_P,
+    RUN_Q,
+    KnowingOnlyExample,
+    build_knowing_only_example,
+    demonstrate_no_best_state,
+    maximal_vectors,
+    vectors_meeting_disjunction,
+)
+from repro.goodruns.defensible import (
+    alpha_from_assumptions,
+    knowledge_evaluator,
+    knows,
+    sm_believes,
+    sm_believes_guarded,
+)
+from repro.goodruns.optimality import (
+    MAX_CANDIDATES,
+    OptimalityReport,
+    enumerate_supporting_vectors,
+    optimality_report,
+)
+
+__all__ = [
+    "InitialAssumptions",
+    "normalize_assumption",
+    "RUN_HEADS",
+    "RUN_TAILS",
+    "CoinTossExample",
+    "build_cointoss_example",
+    "build_corrected_cointoss_example",
+    "ConstructionResult",
+    "construct_good_runs",
+    "supports",
+    "unsupported_assumptions",
+    "RUN_P",
+    "RUN_Q",
+    "KnowingOnlyExample",
+    "build_knowing_only_example",
+    "demonstrate_no_best_state",
+    "maximal_vectors",
+    "vectors_meeting_disjunction",
+    "alpha_from_assumptions",
+    "knowledge_evaluator",
+    "knows",
+    "sm_believes",
+    "sm_believes_guarded",
+    "MAX_CANDIDATES",
+    "OptimalityReport",
+    "enumerate_supporting_vectors",
+    "optimality_report",
+]

@@ -1,0 +1,101 @@
+"""The coin-toss counterexample (Section 7).
+
+"The example we give in detail in the full paper involves a coin-tossing
+situation with three principals P1, P2, and P3.  The state of each
+principal consists of the outcome of a single coin toss, but P1 and P3
+disagree about the outcome of P2's coin toss.  Principal P1 believes the
+coin landed tails and believes P3 believes the same thing, while P3
+believes the coin landed heads and believes P1 believes so, too.  We
+show that either the set G1 can contain the run in which the coin landed
+tails, or the set G3 can contain the run in which the coin landed heads,
+but not both.  Consequently, there can be no maximum G supporting these
+initial assumptions."
+
+We realize the situation as a two-run system: in ``run-heads`` P2's coin
+landed heads, in ``run-tails`` it landed tails.  P1 and P3 cannot see
+P2's coin (their local states are identical across the two runs), so
+their beliefs about it are pure preconception — and the preconceptions
+are *mutually mistaken*, which is exactly what restriction I2 rules out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.goodruns.assumptions import InitialAssumptions
+from repro.model.builder import RunBuilder
+from repro.model.system import Interpretation, System
+from repro.terms.atoms import Principal
+from repro.terms.formulas import Believes, Formula, Prim
+from repro.terms.vocabulary import Vocabulary
+
+RUN_HEADS = "run-heads"
+RUN_TAILS = "run-tails"
+
+
+@dataclass(frozen=True)
+class CoinTossExample:
+    """The packaged counterexample: system, assumptions, key formulas."""
+
+    system: System
+    assumptions: InitialAssumptions
+    heads: Formula
+    tails: Formula
+    p1: Principal
+    p2: Principal
+    p3: Principal
+
+
+def build_cointoss_example() -> CoinTossExample:
+    """Build the Section 7 coin-toss system and its mistaken assumptions."""
+    vocabulary = Vocabulary()
+    p1, p2, p3 = vocabulary.principals("P1", "P2", "P3")
+    heads_prop = vocabulary.proposition("heads")
+    tails_prop = vocabulary.proposition("tails")
+    heads = Prim(heads_prop)
+    tails = Prim(tails_prop)
+
+    def toss_run(name: str, outcome: str):
+        # "The state of each principal consists of the outcome of a
+        # single coin toss": the outcome is part of P2's state from the
+        # start of the run.
+        builder = RunBuilder([p1, p2, p3], data={p2: {"coin": outcome}})
+        builder.idle()
+        return builder.build(name)
+
+    interpretation = Interpretation.from_run_table(
+        {heads_prop: [RUN_HEADS], tails_prop: [RUN_TAILS]}
+    )
+    system = System(
+        runs=(toss_run(RUN_HEADS, "heads"), toss_run(RUN_TAILS, "tails")),
+        interpretation=interpretation,
+        vocabulary=vocabulary,
+    )
+
+    assumptions = InitialAssumptions.of(
+        {
+            p1: [Believes(p1, tails), Believes(p1, Believes(p3, tails))],
+            p3: [Believes(p3, heads), Believes(p3, Believes(p1, heads))],
+        }
+    )
+    return CoinTossExample(system, assumptions, heads, tails, p1, p2, p3)
+
+
+def build_corrected_cointoss_example() -> CoinTossExample:
+    """A variant whose nested beliefs satisfy I2 (no mutual error).
+
+    Both P1 and P3 believe tails, and each believes the other believes
+    tails; Theorem 3 applies and the construction yields the optimum.
+    """
+    example = build_cointoss_example()
+    p1, p3, tails = example.p1, example.p3, example.tails
+    assumptions = InitialAssumptions.of(
+        {
+            p1: [Believes(p1, tails), Believes(p1, Believes(p3, tails))],
+            p3: [Believes(p3, tails), Believes(p3, Believes(p1, tails))],
+        }
+    )
+    return CoinTossExample(
+        example.system, assumptions, example.heads, example.tails,
+        p1, example.p2, p3,
+    )

@@ -1,0 +1,112 @@
+"""The iterative construction of good-run sets (Section 7, Theorem 2).
+
+Given a system R and an assumption vector I satisfying restriction I1,
+the paper defines::
+
+    G_i^0 = R
+    G_i^j = G_i^{j-1} ∩ { r : (r, 0) |= φ relative to G^{j-1},
+                          for every  P_i believes φ  in I_i^j }
+    G_i   = ∩_j G_i^j
+
+where ``I_i^j`` are the (normalized) assumptions of P_i with j levels
+of belief.  Since assumption depth is finite the intersection stabilizes
+at the maximum depth.
+
+Theorem 2: if I satisfies I1, the constructed vector *supports* I (all
+assumptions hold at all time-0 points relative to it).
+Theorem 3: if I also satisfies I2, the constructed vector is *optimum*
+(the maximum of all supporting vectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssumptionError
+from repro.goodruns.assumptions import InitialAssumptions
+from repro.model.system import System
+from repro.semantics.evaluator import Evaluator
+from repro.semantics.goodvectors import GoodRunVector
+from repro.terms.atoms import Principal
+from repro.terms.formulas import Believes
+
+
+@dataclass(frozen=True)
+class ConstructionResult:
+    """The constructed vector together with its intermediate stages.
+
+    ``stages[j]`` is ``G^j``; ``stages[0]`` is the all-runs vector and
+    ``stages[-1]`` equals ``vector``.
+    """
+
+    vector: GoodRunVector
+    stages: tuple[GoodRunVector, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.stages) - 1
+
+
+def construct_good_runs(
+    system: System,
+    assumptions: InitialAssumptions,
+    pattern_hide: bool = False,
+) -> ConstructionResult:
+    """Run the paper's iterative construction over a finite system."""
+    for principal in assumptions.principals:
+        if principal not in system.principals():
+            raise AssumptionError(
+                f"assumptions mention {principal}, not a system principal"
+            )
+    all_names = frozenset(run.name for run in system.runs)
+    current: dict[Principal, frozenset[str]] = {
+        principal: all_names for principal in system.principals()
+    }
+    stages = [GoodRunVector.of(current)]
+
+    for depth in range(1, assumptions.max_depth + 1):
+        previous_vector = stages[-1]
+        evaluator = Evaluator(system, previous_vector, pattern_hide=pattern_hide)
+        updated: dict[Principal, frozenset[str]] = {}
+        for principal in system.principals():
+            good = current[principal]
+            for formula in assumptions.stratum(principal, depth):
+                assert isinstance(formula, Believes)
+                body = formula.body
+                good = frozenset(
+                    name
+                    for name in good
+                    if evaluator.evaluate(body, system.run(name), 0)
+                )
+            updated[principal] = good
+        current = updated
+        stages.append(GoodRunVector.of(current))
+
+    return ConstructionResult(stages[-1], tuple(stages))
+
+
+def supports(
+    system: System,
+    vector: GoodRunVector,
+    assumptions: InitialAssumptions,
+    pattern_hide: bool = False,
+) -> bool:
+    """``G supports I``: every assumption holds at every time-0 point of
+    the system, relative to G (Section 7)."""
+    return not unsupported_assumptions(system, vector, assumptions, pattern_hide)
+
+
+def unsupported_assumptions(
+    system: System,
+    vector: GoodRunVector,
+    assumptions: InitialAssumptions,
+    pattern_hide: bool = False,
+) -> list[tuple[Principal, object, str]]:
+    """The (principal, formula, run name) triples where support fails."""
+    evaluator = Evaluator(system, vector, pattern_hide=pattern_hide)
+    failures = []
+    for principal, formula in assumptions.all_formulas():
+        for run in system.runs:
+            if not evaluator.evaluate(formula, run, 0):
+                failures.append((principal, formula, run.name))
+    return failures

@@ -1,0 +1,127 @@
+"""Belief as defensible knowledge (Section 7, Shoham & Moses 1989).
+
+For depth-1 assumptions the paper's belief "is essentially equivalent to
+a definition of belief as defensible knowledge proposed by Shoham and
+Moses": ``B_i(φ, α) = K_i(α ⊃ φ)`` — the agent knows that either φ is
+true or something unusual happened (its assumption α is false).
+
+This module provides the knowledge operator (possible-worlds knowledge
+over hidden local states, i.e. belief relative to the all-runs vector)
+and both Shoham-Moses belief definitions, so the equivalence can be
+checked computationally (test suite) and the "strange" derivability of
+``K_i ¬α ⊃ B_i(φ, α)`` exhibited.
+
+α is represented as a *run predicate* — in the intended instantiation,
+"the initial assumptions I_i hold at time 0 of the run", which for
+depth-1 (belief-free-body) assumptions is well-defined without
+circularity.  The paper notes its good-run formulation beats
+Shoham-Moses exactly where the circularity bites: nested belief.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.goodruns.assumptions import InitialAssumptions
+from repro.model.runs import Run
+from repro.model.system import System
+from repro.semantics.evaluator import Evaluator
+from repro.semantics.goodvectors import GoodRunVector
+from repro.terms.atoms import Principal
+from repro.terms.formulas import Believes, Formula
+
+RunPredicate = Callable[[Run], bool]
+
+
+def knowledge_evaluator(system: System, pattern_hide: bool = False) -> Evaluator:
+    """The knowledge operator K: belief relative to the all-runs vector.
+
+    This satisfies the knowledge axiom ``K_i φ ⊃ φ`` *up to hiding*: at
+    the evaluation point itself every hidden-indistinguishable point —
+    including the point itself — must satisfy φ.
+    """
+    return Evaluator(system, GoodRunVector(), pattern_hide=pattern_hide)
+
+
+def knows(
+    evaluator: Evaluator,
+    principal: Principal,
+    formula: Formula,
+    run: Run,
+    k: int,
+) -> bool:
+    """``K_i φ`` at (r, k): φ at every hidden-indistinguishable point."""
+    return all(
+        evaluator.evaluate(formula, other_run, other_k)
+        for other_run, other_k in evaluator.possible_points(principal, run, k)
+    )
+
+
+def sm_believes(
+    evaluator: Evaluator,
+    principal: Principal,
+    formula: Formula,
+    alpha: RunPredicate,
+    run: Run,
+    k: int,
+) -> bool:
+    """Shoham-Moses ``B_i(φ, α) = K_i(α ⊃ φ)``.
+
+    α is a run predicate, so the implication is evaluated pointwise: at
+    every point the agent considers (knowledge-)possible, either the
+    run violates α or φ holds.
+    """
+    return all(
+        (not alpha(other_run)) or evaluator.evaluate(formula, other_run, other_k)
+        for other_run, other_k in evaluator.possible_points(principal, run, k)
+    )
+
+
+def sm_believes_guarded(
+    evaluator: Evaluator,
+    principal: Principal,
+    formula: Formula,
+    alpha: RunPredicate,
+    run: Run,
+    k: int,
+) -> bool:
+    """The refined Shoham-Moses definition
+    ``B_i(φ, α) = K_i(α ⊃ φ) ∧ (K_i ¬α ⊃ K_i φ)``.
+
+    It repairs the "rather strange" property that an agent that knows
+    its assumptions are violated believes everything: here, if the agent
+    knows ¬α, it believes φ only if it *knows* φ.
+    """
+    possible = evaluator.possible_points(principal, run, k)
+    knows_not_alpha = all(not alpha(other_run) for other_run, _ in possible)
+    if knows_not_alpha:
+        return all(
+            evaluator.evaluate(formula, other_run, other_k)
+            for other_run, other_k in possible
+        )
+    return sm_believes(evaluator, principal, formula, alpha, run, k)
+
+
+def alpha_from_assumptions(
+    system: System,
+    assumptions: InitialAssumptions,
+    principal: Principal,
+    pattern_hide: bool = False,
+) -> RunPredicate:
+    """The intended α for P_i: "the bodies of I_i hold at time 0".
+
+    Only meaningful for depth-1 assumptions, whose bodies are belief-free
+    and hence evaluable absolutely (relative to the all-runs vector);
+    for nested assumptions the definition is circular, which is exactly
+    the paper's argument for good-run vectors.
+    """
+    evaluator = knowledge_evaluator(system, pattern_hide)
+    bodies = []
+    for formula in assumptions.normalized.get(principal, ()):
+        assert isinstance(formula, Believes)
+        bodies.append(formula.body)
+
+    def alpha(run: Run) -> bool:
+        return all(evaluator.evaluate(body, run, 0) for body in bodies)
+
+    return alpha

@@ -1,0 +1,142 @@
+"""Facts: belief-prefix-normalized formulas for the derivation engines.
+
+Both the BAN engine (Section 2) and the reformulated engine (Section 4)
+work with *facts* of the form::
+
+    P1 believes P2 believes ... Pk believes φ
+
+represented as a prefix of principals and a body φ that neither starts
+with ``believes`` nor is a conjunction (conjunctions are split, which is
+sound in both directions by axiom A4 and the belief rules of Section 2).
+The empty prefix is a fact about the world; a prefix ``(A,)`` is a fact
+inside A's beliefs; and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import EngineError
+from repro.terms.atoms import Principal
+from repro.terms.base import Message
+from repro.terms.formulas import And, Believes, Formula, believes_chain
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A belief-prefixed formula with conjunctions split away."""
+
+    prefix: tuple[Principal, ...]
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if not all(isinstance(p, Principal) for p in self.prefix):
+            raise EngineError("fact prefixes must hold Principal constants")
+        if isinstance(self.body, (Believes, And)):
+            raise EngineError(
+                f"fact bodies must be prefix/conjunction-normalized, got {self.body}"
+            )
+
+    @property
+    def depth(self) -> int:
+        return len(self.prefix)
+
+    def to_formula(self) -> Formula:
+        """Reassemble ``P1 believes ... believes body``."""
+        return believes_chain(self.prefix, self.body)
+
+    def within(self, principal: Principal) -> "Fact":
+        """The same body believed one level deeper by ``principal``."""
+        return Fact((principal,) + self.prefix, self.body)
+
+    def __str__(self) -> str:
+        if not self.prefix:
+            return str(self.body)
+        chain = " believes ".join(p.name for p in self.prefix)
+        return f"{chain} believes ({self.body})"
+
+
+def normalize_to_facts(formula: Formula) -> tuple[Fact, ...]:
+    """Split a formula into facts: peel belief prefixes, split conjunctions.
+
+    ``A believes (φ & B believes ψ)`` becomes the facts
+    ``(A,) φ`` and ``(A, B) ψ``.
+    """
+
+    def split(prefix: tuple[Principal, ...], f: Formula) -> Iterator[Fact]:
+        if isinstance(f, And):
+            yield from split(prefix, f.left)
+            yield from split(prefix, f.right)
+        elif isinstance(f, Believes):
+            principal = f.principal
+            if not isinstance(principal, Principal):
+                raise EngineError(
+                    f"cannot normalize belief with non-constant principal {principal}"
+                )
+            yield from split(prefix + (principal,), f.body)
+        else:
+            yield Fact(prefix, f)
+
+    return tuple(dict.fromkeys(split((), formula)))
+
+
+def facts_of(formulas: Iterable[Formula]) -> tuple[Fact, ...]:
+    out: list[Fact] = []
+    for formula in formulas:
+        out.extend(normalize_to_facts(formula))
+    return tuple(dict.fromkeys(out))
+
+
+class FactIndex:
+    """A mutable set of facts indexed by prefix and body type.
+
+    The derivation engines consult the index by (prefix, body class) to
+    match rule premises without scanning everything.
+    """
+
+    def __init__(self, facts: Iterable[Fact] = ()) -> None:
+        self._all: set[Fact] = set()
+        self._by_prefix: dict[tuple[Principal, ...], dict[type, list[Fact]]] = {}
+        for fact in facts:
+            self.add(fact)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._all
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._all)
+
+    def add(self, fact: Fact) -> bool:
+        """Insert; returns True iff the fact is new."""
+        if fact in self._all:
+            return False
+        self._all.add(fact)
+        bucket = self._by_prefix.setdefault(fact.prefix, {})
+        bucket.setdefault(type(fact.body), []).append(fact)
+        return True
+
+    def prefixes(self) -> tuple[tuple[Principal, ...], ...]:
+        return tuple(self._by_prefix.keys())
+
+    def with_body_type(
+        self, prefix: tuple[Principal, ...], body_type: type
+    ) -> tuple[Fact, ...]:
+        return tuple(self._by_prefix.get(prefix, {}).get(body_type, ()))
+
+    def holds(self, prefix: tuple[Principal, ...], body: Formula) -> bool:
+        return Fact(prefix, body) in self._all
+
+    def messages(self) -> frozenset[Message]:
+        """All message arguments appearing in sees/said/says bodies —
+        handy for building message pools."""
+        from repro.terms.formulas import Said, Says, Sees
+
+        out: set[Message] = set()
+        for fact in self._all:
+            if isinstance(fact.body, (Sees, Said, Says)):
+                out.add(fact.body.message)
+        return frozenset(out)

@@ -1,0 +1,102 @@
+"""Propositional tautology checking.
+
+The reformulated axiomatization includes "all the instances of
+tautologies of propositional calculus" (Section 4.2).  The proof
+checker therefore needs to decide, for a candidate formula, whether it
+is such an instance: treat every maximal non-propositional subformula
+(a belief, a ``sees``, a shared-key assertion, ...) as an opaque atom
+and truth-table the result.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.errors import ProofError
+from repro.terms.formulas import (
+    And,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Truth,
+)
+
+#: Truth-tabling more atoms than this is refused (2^N valuations).
+MAX_ATOMS = 20
+
+
+def propositional_atoms(formula: Formula) -> tuple[Formula, ...]:
+    """The maximal subformulas opaque to propositional reasoning."""
+    atoms: dict[Formula, None] = {}
+
+    def scan(f: Formula) -> None:
+        match f:
+            case Truth():
+                pass
+            case Not(body):
+                scan(body)
+            case And(left, right) | Or(left, right) | Iff(left, right):
+                scan(left)
+                scan(right)
+            case Implies(antecedent, consequent):
+                scan(antecedent)
+                scan(consequent)
+            case _:
+                atoms[f] = None
+
+    scan(formula)
+    return tuple(atoms)
+
+
+def _eval_under(formula: Formula, valuation: dict[Formula, bool]) -> bool:
+    match formula:
+        case Truth():
+            return True
+        case Not(body):
+            return not _eval_under(body, valuation)
+        case And(left, right):
+            return _eval_under(left, valuation) and _eval_under(right, valuation)
+        case Or(left, right):
+            return _eval_under(left, valuation) or _eval_under(right, valuation)
+        case Implies(antecedent, consequent):
+            return (not _eval_under(antecedent, valuation)) or _eval_under(
+                consequent, valuation
+            )
+        case Iff(left, right):
+            return _eval_under(left, valuation) == _eval_under(right, valuation)
+        case _:
+            return valuation[formula]
+
+
+def is_tautology(formula: Formula) -> bool:
+    """True iff the formula is an instance of a propositional tautology."""
+    atoms = propositional_atoms(formula)
+    if len(atoms) > MAX_ATOMS:
+        raise ProofError(
+            f"tautology check over {len(atoms)} atoms exceeds the "
+            f"{MAX_ATOMS}-atom limit"
+        )
+    for values in product((False, True), repeat=len(atoms)):
+        valuation = dict(zip(atoms, values))
+        if not _eval_under(formula, valuation):
+            return False
+    return True
+
+
+def find_falsifying_valuation(
+    formula: Formula,
+) -> dict[Formula, bool] | None:
+    """A valuation of the propositional atoms falsifying the formula."""
+    atoms = propositional_atoms(formula)
+    if len(atoms) > MAX_ATOMS:
+        raise ProofError(
+            f"tautology check over {len(atoms)} atoms exceeds the "
+            f"{MAX_ATOMS}-atom limit"
+        )
+    for values in product((False, True), repeat=len(atoms)):
+        valuation = dict(zip(atoms, values))
+        if not _eval_under(formula, valuation):
+            return valuation
+    return None

@@ -1,0 +1,66 @@
+"""The model of computation (Section 5 of Abadi & Tuttle, PODC '91).
+
+Principals with local histories and key sets communicate by message
+passing through buffers managed by a distinguished environment; runs
+assign integer times to global states with the current epoch starting
+at time 0; systems are sets of runs.
+
+Quick tour::
+
+    >>> from repro.model import RunBuilder
+    >>> from repro.terms import Vocabulary
+    >>> v = Vocabulary(); A, B = v.principals("A", "B"); K = v.key("K")
+    >>> b = RunBuilder([A, B], keysets={A: [K], B: [K]})
+    >>> from repro.terms import encrypted
+    >>> b.send(A, encrypted(v.nonce("N"), K, A), B)
+    >>> _ = b.receive(B)
+    >>> run = b.build("demo")
+    >>> run.times
+    range(0, 3)
+"""
+
+from repro.model.actions import Action, Internal, NewKey, Receive, Send
+from repro.model.builder import RunBuilder
+from repro.model.runs import ENVIRONMENT, Run
+from repro.model.states import EnvState, GlobalState, LocalState
+from repro.model.submsgs import (
+    readable,
+    said_submsgs,
+    seen_submsgs,
+    seen_submsgs_all,
+)
+from repro.model.system import Interpretation, Point, System, system_of
+from repro.model.wellformed import (
+    Violation,
+    assert_wellformed,
+    check_run,
+    is_wellformed,
+    iter_violations,
+)
+
+__all__ = [
+    "Action",
+    "Internal",
+    "NewKey",
+    "Receive",
+    "Send",
+    "RunBuilder",
+    "ENVIRONMENT",
+    "Run",
+    "EnvState",
+    "GlobalState",
+    "LocalState",
+    "readable",
+    "said_submsgs",
+    "seen_submsgs",
+    "seen_submsgs_all",
+    "Interpretation",
+    "Point",
+    "System",
+    "system_of",
+    "Violation",
+    "assert_wellformed",
+    "check_run",
+    "is_wellformed",
+    "iter_violations",
+]

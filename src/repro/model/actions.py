@@ -1,0 +1,94 @@
+"""Actions of the model of computation (Section 5).
+
+The paper assumes every principal can perform at least:
+
+* ``send(m, Q)`` — send message m to Q; m is added to Q's buffer;
+* ``receive()`` — receive a nondeterministically chosen buffered
+  message; the performed action is recorded as ``receive(m)`` "in order
+  to tag the receive() action with the message m returned";
+* ``newkey(K)`` — add K to the principal's key set.
+
+Each action appends itself to the performing principal's local history
+and, tagged with the principal's name, to the environment's global
+history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.terms.atoms import Key, Principal
+from repro.terms.base import Message
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class for recorded actions."""
+
+
+@dataclass(frozen=True)
+class Send(Action):
+    """``send(m, Q)``: the message m was sent to recipient Q."""
+
+    message: Message
+    recipient: Principal
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.message, Message):
+            raise ModelError(f"Send.message must be a Message, got {self.message!r}")
+        if not isinstance(self.recipient, Principal):
+            raise ModelError(
+                f"Send.recipient must be a Principal, got {self.recipient!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"send({self.message}, {self.recipient})"
+
+
+@dataclass(frozen=True)
+class Receive(Action):
+    """``receive(m)``: a receive() action that returned the message m."""
+
+    message: Message
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.message, Message):
+            raise ModelError(f"Receive.message must be a Message, got {self.message!r}")
+
+    def __str__(self) -> str:
+        return f"receive({self.message})"
+
+
+@dataclass(frozen=True)
+class NewKey(Action):
+    """``newkey(K)``: the key K was added to the principal's key set."""
+
+    key: Key
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.key, Key):
+            raise ModelError(f"NewKey.key must be a Key, got {self.key!r}")
+
+    def __str__(self) -> str:
+        return f"newkey({self.key})"
+
+
+@dataclass(frozen=True)
+class Internal(Action):
+    """An application-specific internal action (e.g. tossing a coin).
+
+    The paper associates "a set of actions" with each principal beyond
+    the three built-ins; internal actions carry an uninterpreted label
+    and let examples such as Section 7's coin-toss system record local
+    events in histories without touching the network.
+    """
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.label, str) or not self.label:
+            raise ModelError("Internal action label must be a non-empty string")
+
+    def __str__(self) -> str:
+        return f"internal({self.label})"

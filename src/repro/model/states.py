@@ -1,0 +1,214 @@
+"""Local, environment, and global states (Section 5).
+
+A principal's local state includes a *local history* (the sequence of
+all actions the principal has ever performed) and a *key set* (the set
+of keys the principal holds).  The environment's state includes a
+*global history* (every principal's actions, tagged with the performing
+principal), its own key set, and a *message buffer* for each system
+principal containing messages sent to it but not yet delivered.
+
+States are frozen and hashable: the belief semantics (Section 6)
+compares local states — after hiding unreadable ciphertexts — for
+indistinguishability, so value equality is load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Mapping
+
+from repro.errors import ModelError
+from repro.model.actions import Action, NewKey, Receive, Send
+from repro.terms.atoms import Key, Principal
+from repro.terms.base import Message
+
+
+@dataclass(frozen=True)
+class LocalState:
+    """The local state of a system principal.
+
+    Attributes:
+        history: every action the principal has performed, oldest first.
+        keys: the principal's key set.
+        data: application-specific local data as sorted (name, value)
+            pairs — e.g. the outcome of a coin toss in Section 7's
+            counterexample.  Values must be hashable.
+    """
+
+    history: tuple[Action, ...] = ()
+    keys: frozenset[Key] = frozenset()
+    data: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not all(isinstance(action, Action) for action in self.history):
+            raise ModelError("LocalState.history must contain only Actions")
+        if not all(isinstance(key, Key) for key in self.keys):
+            raise ModelError("LocalState.keys must contain only Keys")
+        if tuple(sorted(self.data)) != self.data:
+            raise ModelError("LocalState.data must be sorted (name, value) pairs")
+
+    # -- derived views -------------------------------------------------------
+
+    @cached_property
+    def received_messages(self) -> frozenset[Message]:
+        """Messages m with ``receive(m)`` in the history (Section 5)."""
+        return frozenset(
+            action.message for action in self.history if isinstance(action, Receive)
+        )
+
+    @cached_property
+    def sent_messages(self) -> frozenset[Message]:
+        """Messages m with ``send(m, .)`` in the history."""
+        return frozenset(
+            action.message for action in self.history if isinstance(action, Send)
+        )
+
+    def datum(self, name: str, default: object = None) -> object:
+        """Fetch an application datum by name."""
+        for key, value in self.data:
+            if key == name:
+                return value
+        return default
+
+    # -- construction helpers ------------------------------------------------
+
+    def after(self, action: Action) -> "LocalState":
+        """The state after performing ``action`` (appends to history,
+        and grows the key set for ``newkey``)."""
+        keys = self.keys
+        if isinstance(action, NewKey):
+            keys = keys | {action.key}
+        return LocalState(self.history + (action,), keys, self.data)
+
+    def with_data(self, name: str, value: object) -> "LocalState":
+        """A copy with one application datum set (replacing any old value)."""
+        items = dict(self.data)
+        items[name] = value
+        return LocalState(self.history, self.keys, tuple(sorted(items.items())))
+
+    def with_keys(self, keys: Iterable[Key]) -> "LocalState":
+        """A copy with extra keys added to the key set."""
+        return LocalState(self.history, self.keys | frozenset(keys), self.data)
+
+
+@dataclass(frozen=True)
+class EnvState:
+    """The distinguished environment principal's state.
+
+    The environment "encodes all interesting aspects of the global state
+    that cannot be deduced from the local states of the system
+    principals", here the global history and the in-transit buffers.
+    """
+
+    history: tuple[tuple[Principal, Action], ...] = ()
+    keys: frozenset[Key] = frozenset()
+    buffers: tuple[tuple[Principal, tuple[Message, ...]], ...] = ()
+    data: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        for entry in self.history:
+            if (
+                not isinstance(entry, tuple)
+                or len(entry) != 2
+                or not isinstance(entry[0], Principal)
+                or not isinstance(entry[1], Action)
+            ):
+                raise ModelError("EnvState.history entries must be (Principal, Action)")
+        if tuple(sorted(self.buffers, key=lambda kv: kv[0].name)) != self.buffers:
+            raise ModelError("EnvState.buffers must be sorted by principal name")
+
+    @cached_property
+    def buffer_map(self) -> Mapping[Principal, tuple[Message, ...]]:
+        return dict(self.buffers)
+
+    def buffer(self, principal: Principal) -> tuple[Message, ...]:
+        """The pending (sent, undelivered) messages addressed to a principal."""
+        return self.buffer_map.get(principal, ())
+
+    def actions_of(self, principal: Principal) -> tuple[Action, ...]:
+        """Project the global history onto one principal."""
+        return tuple(action for who, action in self.history if who == principal)
+
+    def with_buffers(
+        self, buffers: Mapping[Principal, tuple[Message, ...]]
+    ) -> "EnvState":
+        packed = tuple(sorted(buffers.items(), key=lambda kv: kv[0].name))
+        return EnvState(self.history, self.keys, packed, self.data)
+
+    def record(self, principal: Principal, action: Action) -> "EnvState":
+        """Append a tagged action to the global history."""
+        return EnvState(
+            self.history + ((principal, action),), self.keys, self.buffers, self.data
+        )
+
+
+@dataclass(frozen=True)
+class GlobalState:
+    """A global state ``(s_e, s_1, ..., s_n)``.
+
+    ``locals_`` is a sorted tuple of (principal, local state) pairs; the
+    environment's state is held separately in ``env``.
+    """
+
+    env: EnvState
+    locals_: tuple[tuple[Principal, LocalState], ...]
+
+    def __post_init__(self) -> None:
+        names = [principal.name for principal, _ in self.locals_]
+        if names != sorted(names):
+            raise ModelError("GlobalState.locals_ must be sorted by principal name")
+        if len(set(names)) != len(names):
+            raise ModelError("GlobalState has duplicate principals")
+
+    @cached_property
+    def local_map(self) -> Mapping[Principal, LocalState]:
+        return dict(self.locals_)
+
+    @property
+    def principals(self) -> tuple[Principal, ...]:
+        """The system principals (the environment is not included)."""
+        return tuple(principal for principal, _ in self.locals_)
+
+    def local(self, principal: Principal) -> LocalState:
+        try:
+            return self.local_map[principal]
+        except KeyError:
+            raise ModelError(f"{principal} is not a system principal here") from None
+
+    def with_local(self, principal: Principal, state: LocalState) -> "GlobalState":
+        updated = dict(self.locals_)
+        if principal not in updated:
+            raise ModelError(f"{principal} is not a system principal here")
+        updated[principal] = state
+        packed = tuple(sorted(updated.items(), key=lambda kv: kv[0].name))
+        return GlobalState(self.env, packed)
+
+    def with_env(self, env: EnvState) -> "GlobalState":
+        return GlobalState(env, self.locals_)
+
+    @classmethod
+    def initial(
+        cls,
+        principals: Iterable[Principal],
+        keysets: Mapping[Principal, Iterable[Key]] | None = None,
+        env_keys: Iterable[Key] = (),
+        data: Mapping[Principal, Mapping[str, object]] | None = None,
+    ) -> "GlobalState":
+        """The first state of a run: empty histories and buffers.
+
+        Key sets (and application data) may be nonempty — the paper only
+        requires histories and buffers to start empty, "but the values
+        of other components depend on the application being modeled".
+        """
+        keysets = keysets or {}
+        data = data or {}
+        locals_: list[tuple[Principal, LocalState]] = []
+        for principal in principals:
+            state = LocalState(
+                keys=frozenset(keysets.get(principal, ())),
+                data=tuple(sorted(data.get(principal, {}).items())),
+            )
+            locals_.append((principal, state))
+        locals_.sort(key=lambda kv: kv[0].name)
+        return cls(EnvState(keys=frozenset(env_keys)), tuple(locals_))

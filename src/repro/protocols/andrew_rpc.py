@@ -1,0 +1,189 @@
+"""The Andrew Secure RPC handshake and its published weakness.
+
+Concrete protocol (key refresh between A and B who already share Kab)::
+
+    1. A -> B : A, {Na}_Kab
+    2. B -> A : {Na + 1, Nb}_Kab
+    3. A -> B : {Nb + 1}_Kab
+    4. B -> A : {K'ab, N'b}_Kab
+
+BAN89's finding: **message 4 contains nothing A knows to be fresh**, so
+A has no grounds to believe K'ab is current — an intruder can replay an
+old message 4 and force a compromised key into use.  The fix BAN89
+recommends is to include A's nonce Na in message 4.
+
+Idealized::
+
+    4. B -> A : {(A <-K'ab-> B), N'b}_Kab           (flawed)
+    4'. B -> A : {(A <-K'ab-> B), Na}_Kab           (repaired)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.base import Goal, IdealizedProtocol, MessageStep, NewKeyStep
+from repro.terms.atoms import Key, Nonce, Principal
+from repro.terms.formulas import (
+    Believes,
+    Controls,
+    Formula,
+    Fresh,
+    Has,
+    Says,
+    SharedKey,
+)
+from repro.terms.messages import encrypted, group
+from repro.terms.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class AndrewContext:
+    vocabulary: Vocabulary
+    a: Principal
+    b: Principal
+    kab: Key
+    knew: Key
+    na: Nonce
+    nb: Nonce
+    nb2: Nonce
+    good_new: Formula
+
+    def message4(self, repaired: bool):
+        nonce = self.na if repaired else self.nb2
+        return encrypted(group(self.good_new, nonce), self.kab, self.b)
+
+
+def make_context() -> AndrewContext:
+    vocabulary = Vocabulary()
+    a, b = vocabulary.principals("A", "B")
+    kab, knew = vocabulary.keys("Kab", "Knew")
+    na, nb, nb2 = vocabulary.nonces("Na", "Nb", "Nb2")
+    return AndrewContext(vocabulary, a, b, kab, knew, na, nb, nb2,
+                         SharedKey(a, knew, b))
+
+
+def _assumptions(ctx: AndrewContext) -> tuple[Formula, ...]:
+    return (
+        Believes(ctx.a, SharedKey(ctx.a, ctx.kab, ctx.b)),
+        Believes(ctx.b, SharedKey(ctx.a, ctx.kab, ctx.b)),
+        Believes(ctx.a, Controls(ctx.b, ctx.good_new)),
+        Believes(ctx.a, Fresh(ctx.na)),
+        Believes(ctx.b, Fresh(ctx.nb)),
+        Believes(ctx.b, ctx.good_new),
+    )
+
+
+def _steps(ctx: AndrewContext, repaired: bool, logic: str):
+    steps: list = [
+        MessageStep(ctx.a, ctx.b,
+                    group(ctx.a, encrypted(ctx.na, ctx.kab, ctx.a))),
+        MessageStep(ctx.b, ctx.a,
+                    encrypted(group(ctx.na, ctx.nb), ctx.kab, ctx.b)),
+        MessageStep(ctx.a, ctx.b, encrypted(ctx.nb, ctx.kab, ctx.a)),
+    ]
+    if logic == "at":
+        steps.append(NewKeyStep(ctx.b, ctx.knew,
+                                note="B generates the replacement key"))
+    steps.append(MessageStep(ctx.b, ctx.a, ctx.message4(repaired),
+                             note="the handshake's final message"))
+    if logic == "at":
+        steps.append(NewKeyStep(ctx.a, ctx.knew))
+    return tuple(steps)
+
+
+def _goals(ctx: AndrewContext, repaired: bool, logic: str) -> tuple[Goal, ...]:
+    flaw_note = (
+        "BAN89's finding: message 4 contains nothing A knows to be fresh, "
+        "so a replay can plant an old key"
+    )
+    hears = (
+        Believes(ctx.a, Believes(ctx.b, ctx.good_new))
+        if logic == "ban"
+        else Believes(ctx.a, Says(ctx.b, ctx.good_new))
+    )
+    return (
+        Goal("A-said", Believes(ctx.a, _said(ctx.b, ctx.good_new)),
+             note="A does learn that B once said the new key is good"),
+        Goal("A-hears-B", hears, expected=repaired, note=flaw_note),
+        Goal("A-new-key", Believes(ctx.a, ctx.good_new), expected=repaired,
+             note=flaw_note),
+    )
+
+
+def _said(principal: Principal, formula: Formula) -> Formula:
+    from repro.terms.formulas import Said
+
+    return Said(principal, formula)
+
+
+def scenario(repaired: bool = False):
+    """The normal concrete handshake."""
+    from repro.runtime import message_flow
+
+    ctx = make_context()
+    flow = [
+        (ctx.a, group(ctx.a, encrypted(ctx.na, ctx.kab, ctx.a)), ctx.b),
+        (ctx.b, encrypted(group(ctx.na, ctx.nb), ctx.kab, ctx.b), ctx.a),
+        (ctx.a, encrypted(ctx.nb, ctx.kab, ctx.a), ctx.b),
+        (ctx.b, ctx.message4(repaired), ctx.a),
+    ]
+    suffix = "-repaired" if repaired else ""
+    return message_flow(
+        f"andrew{suffix}-normal",
+        (ctx.a, ctx.b),
+        flow,
+        keysets={ctx.a: [ctx.kab], ctx.b: [ctx.kab, ctx.knew]},
+        newkeys={3: (ctx.a, ctx.knew)},
+    )
+
+
+def build_system(repaired: bool = False):
+    """Normal run plus the published attack: a cross-epoch replay of
+    message 4 plants a stale replacement key on A."""
+    from repro.runtime import build_attack_system, with_replay
+
+    ctx = make_context()
+    normal = scenario(repaired)
+    return build_attack_system(
+        normal,
+        [with_replay(normal, 3)],
+        vocabulary=ctx.vocabulary,
+    )
+
+
+def _build(repaired: bool, logic: str) -> IdealizedProtocol:
+    ctx = make_context()
+    assumptions = _assumptions(ctx)
+    if logic == "at":
+        assumptions += (Has(ctx.a, ctx.kab), Has(ctx.b, ctx.kab))
+        # Honesty made explicit for the AT goal "A believes the new key is
+        # good": A assumes B only claims goodness of keys that are good.
+        from repro.terms.formulas import Implies, Says
+
+        assumptions += (
+            Believes(ctx.a, Implies(Says(ctx.b, ctx.good_new), ctx.good_new)),
+        )
+    suffix = "-repaired" if repaired else ""
+    return IdealizedProtocol(
+        name=f"andrew-rpc{suffix}",
+        logic=logic,
+        description=(
+            "Andrew Secure RPC handshake "
+            + ("(BAN89 repair: Na echoed in message 4)" if repaired
+               else "(published weakness: unfresh message 4)")
+        ),
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b),
+        steps=_steps(ctx, repaired, logic),
+        assumptions=assumptions,
+        goals=_goals(ctx, repaired, logic),
+    )
+
+
+def ban_protocol(repaired: bool = False) -> IdealizedProtocol:
+    return _build(repaired, "ban")
+
+
+def at_protocol(repaired: bool = False) -> IdealizedProtocol:
+    return _build(repaired, "at")

@@ -1,0 +1,194 @@
+"""A courier protocol exercising the forwarding syntax (Section 3.2).
+
+"Some reasonable protocols fail to satisfy the honesty assumption, such
+as those requiring a principal to forward a message it does not
+necessarily believe to be true."  Here a courier C relays the server's
+certificate to B; C cannot read it (it is under Kbs), so under the
+original logic's honesty assumption C would be vouching for contents it
+cannot even see::
+
+    1. S -> C : {Ts, (A <-Kab-> B)}_Kbs
+    2. C -> B : '{Ts, (A <-Kab-> B)}_Kbs'      (reformulated: forwarded)
+
+The experiment (E8) demonstrates three things:
+
+* the reformulated analysis of B's goal goes through with no honesty
+  anywhere (the certificate authenticates S via Kbs, not C);
+* C never *says* the certificate's contents — checked both in the
+  engine (``C said ...`` underivable) and semantically on the concrete
+  runs (``said_submsgs`` skips unseen-forwarded and unreadable bodies);
+* a *misused* forwarding (the environment "forwarding" a message it
+  never saw) is held accountable: ``Env said X`` is semantically true,
+  which is axiom A14 at work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.builder import RunBuilder
+from repro.model.runs import ENVIRONMENT, Run
+from repro.model.system import System, system_of
+from repro.protocols.base import Goal, IdealizedProtocol, MessageStep
+from repro.terms.atoms import Key, Nonce, Principal
+from repro.terms.formulas import (
+    Believes,
+    Controls,
+    Formula,
+    Fresh,
+    Has,
+    Said,
+    Says,
+    SharedKey,
+)
+from repro.terms.messages import encrypted, forwarded, group
+from repro.terms.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class ForwardingContext:
+    vocabulary: Vocabulary
+    a: Principal
+    b: Principal
+    c: Principal
+    s: Principal
+    kbs: Key
+    kab: Key
+    ts: Nonce
+    good: Formula
+
+    @property
+    def certificate(self):
+        return encrypted(group(self.ts, self.good), self.kbs, self.s)
+
+
+def make_context() -> ForwardingContext:
+    vocabulary = Vocabulary()
+    a, b, c, s = vocabulary.principals("A", "B", "C", "S")
+    kbs, kab = vocabulary.keys("Kbs", "Kab")
+    ts = vocabulary.nonce("Ts")
+    return ForwardingContext(vocabulary, a, b, c, s, kbs, kab, ts,
+                             SharedKey(a, kab, b))
+
+
+def at_protocol() -> IdealizedProtocol:
+    ctx = make_context()
+    assumptions = (
+        Believes(ctx.b, SharedKey(ctx.b, ctx.kbs, ctx.s)),
+        Believes(ctx.b, Controls(ctx.s, ctx.good)),
+        Believes(ctx.b, Fresh(ctx.ts)),
+        Has(ctx.b, ctx.kbs),
+        Has(ctx.s, ctx.kbs),
+    )
+    steps = (
+        MessageStep(ctx.s, ctx.c, ctx.certificate),
+        MessageStep(ctx.c, ctx.b, forwarded(ctx.certificate),
+                    note="C relays a certificate it cannot read"),
+    )
+    goals = (
+        Goal("B-key", Believes(ctx.b, ctx.good)),
+        Goal("B-attributes-S", Believes(ctx.b, Says(ctx.s, ctx.good))),
+        Goal("C-never-says", Believes(ctx.b, Said(ctx.c, ctx.good)),
+             expected=False,
+             note="the courier is not considered to have said the contents"),
+    )
+    return IdealizedProtocol(
+        name="courier",
+        logic="at",
+        description="certificate relay through an oblivious courier (E8)",
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b, ctx.c, ctx.s),
+        steps=steps,
+        assumptions=assumptions,
+        goals=goals,
+    )
+
+
+def ban_protocol() -> IdealizedProtocol:
+    """The same protocol idealized without forwarding syntax (the
+    original logic has none): the analysis still derives B's goal, but
+    only because the honesty assumption is quietly violated — C sends a
+    message whose contents it cannot believe."""
+    ctx = make_context()
+    assumptions = (
+        Believes(ctx.b, SharedKey(ctx.b, ctx.kbs, ctx.s)),
+        Believes(ctx.b, Controls(ctx.s, ctx.good)),
+        Believes(ctx.b, Fresh(ctx.ts)),
+    )
+    steps = (
+        MessageStep(ctx.s, ctx.c, ctx.certificate),
+        MessageStep(ctx.c, ctx.b, ctx.certificate),
+    )
+    goals = (
+        Goal("B-key", Believes(ctx.b, ctx.good),
+             note="derivable — but the proof system's honesty premise is "
+                  "false for this protocol (Section 3.2)"),
+        Goal("B-server", Believes(ctx.b, Believes(ctx.s, ctx.good))),
+    )
+    return IdealizedProtocol(
+        name="courier",
+        logic="ban",
+        description="certificate relay, original-logic idealization",
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b, ctx.c, ctx.s),
+        steps=steps,
+        assumptions=assumptions,
+        goals=goals,
+    )
+
+
+def build_honest_run(name: str = "courier-honest") -> Run:
+    """C relays with the forwarding syntax."""
+    ctx = make_context()
+    builder = RunBuilder(
+        [ctx.a, ctx.b, ctx.c, ctx.s],
+        keysets={ctx.b: [ctx.kbs], ctx.s: [ctx.kbs]},
+    )
+    builder.send(ctx.s, ctx.certificate, ctx.c)
+    builder.receive(ctx.c)
+    builder.send(ctx.c, forwarded(ctx.certificate), ctx.b)
+    builder.receive(ctx.b)
+    return builder.build(name)
+
+
+def build_plain_relay_run(name: str = "courier-plain") -> Run:
+    """C re-sends the certificate without forwarding syntax.
+
+    Still well-formed (C saw the ciphertext), and C *still* does not
+    say the contents — it cannot open the ciphertext, so
+    ``said_submsgs`` never descends into it.
+    """
+    ctx = make_context()
+    builder = RunBuilder(
+        [ctx.a, ctx.b, ctx.c, ctx.s],
+        keysets={ctx.b: [ctx.kbs], ctx.s: [ctx.kbs]},
+    )
+    builder.send(ctx.s, ctx.certificate, ctx.c)
+    builder.receive(ctx.c)
+    builder.send(ctx.c, ctx.certificate, ctx.b)
+    builder.receive(ctx.b)
+    return builder.build(name)
+
+
+def build_misuse_run(name: str = "courier-misuse") -> Run:
+    """The environment 'forwards' a statement it never saw.
+
+    WF5 does not bind the environment, but ``said_submsgs`` (and axiom
+    A14) hold it accountable: ``Env said (A <-Kab-> B)`` comes out true.
+    """
+    ctx = make_context()
+    builder = RunBuilder(
+        [ctx.a, ctx.b, ctx.c, ctx.s],
+        keysets={ctx.b: [ctx.kbs], ctx.s: [ctx.kbs]},
+    )
+    builder.send(ENVIRONMENT, forwarded(ctx.good), ctx.b)
+    builder.receive(ctx.b)
+    return builder.build(name)
+
+
+def build_system() -> System:
+    ctx = make_context()
+    return system_of(
+        [build_honest_run(), build_plain_relay_run(), build_misuse_run()],
+        vocabulary=ctx.vocabulary,
+    )

@@ -1,0 +1,222 @@
+"""The Figure 1 protocol: the Kerberos key-distribution fragment.
+
+"A simple authentication protocol is given as an example in Figure 1.
+(This is actually a very incomplete description of the Kerberos key
+distribution protocol.)"  Concretely::
+
+    1. A -> S : A, B
+    2. S -> A : {Ts, Kab, {Ts, Kab, A}_Kbs}_Kas
+    3. A -> B : {Ts, Kab, A}_Kbs
+
+The idealized version (Section 2.3)::
+
+    1. A -> S : A, B                       (usually omitted)
+    2. S -> A : {Ts, A <-Kab-> B, {Ts, A <-Kab-> B}_Kbs}_Kas
+    3. A -> B : {Ts, A <-Kab-> B}_Kbs
+
+In the reformulated logic the third step uses the forwarding syntax
+(A relays a submessage it received, rather than vouching for it) and
+``newkey`` steps record key acquisition (Section 4.3).
+
+Goals (the specification from the introduction): if A and B initially
+believe Kas/Kbs are good keys for use with S, they end up believing
+``A <-Kab-> B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.builder import RunBuilder
+from repro.model.runs import Run
+from repro.model.system import System, system_of
+from repro.protocols.base import Goal, IdealizedProtocol, MessageStep, NewKeyStep
+from repro.terms.atoms import Key, Nonce, Principal
+from repro.terms.formulas import (
+    Believes,
+    Controls,
+    Formula,
+    Fresh,
+    Said,
+    Says,
+    SharedKey,
+)
+from repro.terms.messages import encrypted, forwarded, group
+from repro.terms.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class KerberosContext:
+    """The shared vocabulary and messages of the Figure 1 protocol."""
+
+    vocabulary: Vocabulary
+    a: Principal
+    b: Principal
+    s: Principal
+    kas: Key
+    kbs: Key
+    kab: Key
+    ts: Nonce
+    good: Formula  # A <-Kab-> B
+
+    @property
+    def inner(self):
+        """``{Ts, A <-Kab-> B}_Kbs`` from S (the forwarded submessage)."""
+        return encrypted(group(self.ts, self.good), self.kbs, self.s)
+
+    @property
+    def outer(self):
+        """``{Ts, A <-Kab-> B, inner}_Kas`` from S."""
+        return encrypted(group(self.ts, self.good, self.inner), self.kas, self.s)
+
+
+def make_context() -> KerberosContext:
+    vocabulary = Vocabulary()
+    a, b, s = vocabulary.principals("A", "B", "S")
+    kas, kbs, kab = vocabulary.keys("Kas", "Kbs", "Kab")
+    ts = vocabulary.nonce("Ts")
+    good = SharedKey(a, kab, b)
+    return KerberosContext(vocabulary, a, b, s, kas, kbs, kab, ts, good)
+
+
+def ban_protocol() -> IdealizedProtocol:
+    """The BAN-logic idealization and analysis setup (Section 2.3)."""
+    ctx = make_context()
+    assumptions = (
+        Believes(ctx.a, SharedKey(ctx.a, ctx.kas, ctx.s)),
+        Believes(ctx.b, SharedKey(ctx.b, ctx.kbs, ctx.s)),
+        Believes(ctx.a, Controls(ctx.s, ctx.good)),
+        Believes(ctx.b, Controls(ctx.s, ctx.good)),
+        Believes(ctx.a, Fresh(ctx.ts)),
+        Believes(ctx.b, Fresh(ctx.ts)),
+    )
+    steps = (
+        MessageStep(ctx.a, ctx.s, group(ctx.a, ctx.b),
+                    note="serves only to start the protocol"),
+        MessageStep(ctx.s, ctx.a, ctx.outer),
+        MessageStep(ctx.a, ctx.b, ctx.inner),
+    )
+    goals = (
+        Goal("A-key", Believes(ctx.a, ctx.good)),
+        Goal("B-key", Believes(ctx.b, ctx.good)),
+        Goal("A-server", Believes(ctx.a, Believes(ctx.s, ctx.good)),
+             note="intermediate: A believes S recently vouched for the key"),
+        Goal("B-server", Believes(ctx.b, Believes(ctx.s, ctx.good))),
+    )
+    return IdealizedProtocol(
+        name="kerberos",
+        logic="ban",
+        description="Figure 1: the Kerberos key-distribution fragment",
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b, ctx.s),
+        steps=steps,
+        assumptions=assumptions,
+        goals=goals,
+    )
+
+
+def at_protocol() -> IdealizedProtocol:
+    """The reformulated-logic idealization (Section 4.3): forwarding
+    syntax for step 3, ``newkey`` steps, honesty-free goals via says."""
+    ctx = make_context()
+    assumptions = (
+        Believes(ctx.a, SharedKey(ctx.a, ctx.kas, ctx.s)),
+        Believes(ctx.b, SharedKey(ctx.b, ctx.kbs, ctx.s)),
+        Believes(ctx.a, Controls(ctx.s, ctx.good)),
+        Believes(ctx.b, Controls(ctx.s, ctx.good)),
+        Believes(ctx.a, Fresh(ctx.ts)),
+        Believes(ctx.b, Fresh(ctx.ts)),
+    )
+    steps = (
+        MessageStep(ctx.a, ctx.s, group(ctx.a, ctx.b)),
+        NewKeyStep(ctx.s, ctx.kab, note="S generates the session key"),
+        MessageStep(ctx.s, ctx.a, ctx.outer),
+        NewKeyStep(ctx.a, ctx.kab, note="A extracts Kab from the message"),
+        MessageStep(ctx.a, ctx.b, forwarded(ctx.inner),
+                    note="A forwards a submessage it does not vouch for"),
+        NewKeyStep(ctx.b, ctx.kab, note="B extracts Kab from the message"),
+    )
+    # The reformulated analysis also needs the key-possession facts the
+    # model provides (Section 4.3's annotation for newkey covers Kab;
+    # the long-term keys are initial possessions):
+    extra_has = (
+        _has(ctx.a, ctx.kas),
+        _has(ctx.b, ctx.kbs),
+        _has(ctx.s, ctx.kas),
+        _has(ctx.s, ctx.kbs),
+    )
+    goals = (
+        Goal("A-key", Believes(ctx.a, ctx.good)),
+        Goal("B-key", Believes(ctx.b, ctx.good)),
+        Goal("A-says", Believes(ctx.a, Says(ctx.s, ctx.good)),
+             note="honesty-free: S recently *said* the key is good"),
+        Goal("B-says", Believes(ctx.b, Says(ctx.s, ctx.good))),
+        Goal("A-said-not-forwarded", Believes(ctx.b, Said(ctx.a, ctx.good)),
+             expected=False,
+             note="A only forwarded the submessage; it never said the key "
+                  "was good (Section 3.2)"),
+    )
+    return IdealizedProtocol(
+        name="kerberos",
+        logic="at",
+        description="Figure 1 idealized for the reformulated logic",
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b, ctx.s),
+        steps=steps,
+        assumptions=assumptions + extra_has,
+        goals=goals,
+    )
+
+
+def _has(principal: Principal, key: Key) -> Formula:
+    from repro.terms.formulas import Has
+
+    return Has(principal, key)
+
+
+def build_run(name: str = "kerberos-normal") -> Run:
+    """Execute the concrete protocol into a well-formed run."""
+    ctx = make_context()
+    builder = RunBuilder(
+        [ctx.a, ctx.b, ctx.s],
+        keysets={ctx.a: [ctx.kas], ctx.b: [ctx.kbs], ctx.s: [ctx.kas, ctx.kbs]},
+    )
+    builder.send(ctx.a, group(ctx.a, ctx.b), ctx.s)
+    builder.receive(ctx.s)
+    builder.newkey(ctx.s, ctx.kab)
+    builder.send(ctx.s, ctx.outer, ctx.a)
+    builder.receive(ctx.a)
+    builder.newkey(ctx.a, ctx.kab)
+    builder.send(ctx.a, forwarded(ctx.inner), ctx.b)
+    builder.receive(ctx.b)
+    builder.newkey(ctx.b, ctx.kab)
+    return builder.build(name)
+
+
+def build_system() -> System:
+    """A small system of Kerberos executions for semantic auditing.
+
+    Contains the normal run plus a run where the final message is lost
+    (B never learns the key) — enough variation that belief is not
+    trivially the single-run valuation.
+    """
+    ctx = make_context()
+    normal = build_run("kerberos-normal")
+
+    builder = RunBuilder(
+        [ctx.a, ctx.b, ctx.s],
+        keysets={ctx.a: [ctx.kas], ctx.b: [ctx.kbs], ctx.s: [ctx.kas, ctx.kbs]},
+    )
+    builder.send(ctx.a, group(ctx.a, ctx.b), ctx.s)
+    builder.receive(ctx.s)
+    builder.newkey(ctx.s, ctx.kab)
+    builder.send(ctx.s, ctx.outer, ctx.a)
+    builder.receive(ctx.a)
+    builder.newkey(ctx.a, ctx.kab)
+    builder.send(ctx.a, forwarded(ctx.inner), ctx.b)
+    # message 3 is never delivered
+    builder.idle()
+    builder.idle()
+    lost = builder.build("kerberos-lost-msg3")
+
+    return system_of([normal, lost], vocabulary=ctx.vocabulary)

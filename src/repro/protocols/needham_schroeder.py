@@ -1,0 +1,234 @@
+"""The Needham-Schroeder shared-key protocol and its published flaw.
+
+The concrete protocol::
+
+    1. A -> S : A, B, Na
+    2. S -> A : {Na, B, Kab, {Kab, A}_Kbs}_Kas
+    3. A -> B : {Kab, A}_Kbs
+    4. B -> A : {Nb}_Kab
+    5. A -> B : {Nb - 1}_Kab
+
+The BAN89 analysis famously showed that **B has no grounds to believe
+the key is fresh**: nothing in message 3 is tied to the current epoch,
+so an attacker can replay an old, compromised key.  The analysis only
+goes through with the "dubious assumption" ``B believes fresh(A <-Kab-> B)``,
+which BAN89 called out explicitly — reproducing the flaw means
+reproducing the *failure* of B's goal without that assumption.
+
+Idealized (after BAN89)::
+
+    2. S -> A : {Na, (A <-Kab-> B), fresh(A <-Kab-> B),
+                 {(A <-Kab-> B)}_Kbs}_Kas
+    3. A -> B : {(A <-Kab-> B)}_Kbs
+    4. B -> A : {Nb, (A <-Kab-> B)}_Kab  from B
+    5. A -> B : {Nb, (A <-Kab-> B)}_Kab  from A
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.base import Goal, IdealizedProtocol, MessageStep, NewKeyStep
+from repro.terms.atoms import Key, Nonce, Principal
+from repro.terms.formulas import (
+    Believes,
+    Controls,
+    Formula,
+    Fresh,
+    Has,
+    SharedKey,
+)
+from repro.terms.messages import encrypted, forwarded, group
+from repro.terms.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class NSContext:
+    vocabulary: Vocabulary
+    a: Principal
+    b: Principal
+    s: Principal
+    kas: Key
+    kbs: Key
+    kab: Key
+    na: Nonce
+    nb: Nonce
+    good: Formula
+
+    @property
+    def ticket(self):
+        """``{(A <-Kab-> B)}_Kbs`` from S — the ticket for B."""
+        return encrypted(self.good, self.kbs, self.s)
+
+    @property
+    def reply(self):
+        """Message 2: S's reply to A."""
+        return encrypted(
+            group(self.na, self.good, Fresh(self.good), self.ticket),
+            self.kas,
+            self.s,
+        )
+
+    def handshake(self, sender: Principal):
+        """Messages 4/5: the Kab handshake carrying Nb."""
+        return encrypted(group(self.nb, self.good), self.kab, sender)
+
+
+def make_context() -> NSContext:
+    vocabulary = Vocabulary()
+    a, b, s = vocabulary.principals("A", "B", "S")
+    kas, kbs, kab = vocabulary.keys("Kas", "Kbs", "Kab")
+    na, nb = vocabulary.nonces("Na", "Nb")
+    return NSContext(vocabulary, a, b, s, kas, kbs, kab, na, nb,
+                     SharedKey(a, kab, b))
+
+
+def _common_assumptions(ctx: NSContext) -> tuple[Formula, ...]:
+    return (
+        Believes(ctx.a, SharedKey(ctx.a, ctx.kas, ctx.s)),
+        Believes(ctx.b, SharedKey(ctx.b, ctx.kbs, ctx.s)),
+        Believes(ctx.a, Controls(ctx.s, ctx.good)),
+        Believes(ctx.b, Controls(ctx.s, ctx.good)),
+        Believes(ctx.a, Controls(ctx.s, Fresh(ctx.good))),
+        Believes(ctx.a, Fresh(ctx.na)),
+        Believes(ctx.b, Fresh(ctx.nb)),
+    )
+
+
+def _goals(ctx: NSContext, dubious: bool, logic: str) -> tuple[Goal, ...]:
+    """Goals per idealization.
+
+    The BAN goals use nested belief (the honesty-dependent reading of
+    nonce verification); the reformulated goals use the honesty-free
+    ``says`` forms (Section 3.2).
+    """
+    flaw_note = (
+        "the published flaw: underivable without assuming "
+        "B believes fresh(A <-Kab-> B)"
+    )
+    if logic == "ban":
+        return (
+            Goal("A-key", Believes(ctx.a, ctx.good)),
+            Goal("A-key-fresh", Believes(ctx.a, Fresh(ctx.good))),
+            Goal("B-key", Believes(ctx.b, ctx.good), expected=dubious,
+                 note=flaw_note),
+            Goal("A-confirms", Believes(ctx.b, Believes(ctx.a, ctx.good)),
+                 expected=dubious, note="depends on B's key belief"),
+            Goal("B-confirms", Believes(ctx.a, Believes(ctx.b, ctx.good))),
+        )
+    from repro.terms.formulas import Says
+
+    return (
+        Goal("A-key", Believes(ctx.a, ctx.good)),
+        Goal("A-key-fresh", Believes(ctx.a, Fresh(ctx.good))),
+        Goal("B-key", Believes(ctx.b, ctx.good), expected=dubious,
+             note=flaw_note),
+        Goal("A-confirms", Believes(ctx.b, Says(ctx.a, ctx.good)),
+             expected=dubious, note="depends on B's key belief"),
+        Goal("B-confirms", Believes(ctx.a, Says(ctx.b, ctx.good))),
+        Goal("no-honesty", Believes(ctx.a, Believes(ctx.b, ctx.good)),
+             expected=False,
+             note="saying is not promoted to believing without honesty "
+                  "(Section 3.2)"),
+    )
+
+
+def scenario():
+    """The normal concrete execution (reformulated style: A forwards
+    the ticket it cannot read)."""
+    from repro.runtime import message_flow
+    from repro.terms.messages import forwarded as fwd
+
+    ctx = make_context()
+    flow = [
+        (ctx.a, group(ctx.a, ctx.b, ctx.na), ctx.s),
+        (ctx.s, ctx.reply, ctx.a),
+        (ctx.a, fwd(ctx.ticket), ctx.b),
+        (ctx.b, ctx.handshake(ctx.b), ctx.a),
+        (ctx.a, ctx.handshake(ctx.a), ctx.b),
+    ]
+    return message_flow(
+        "ns-normal",
+        (ctx.a, ctx.b, ctx.s),
+        flow,
+        keysets={ctx.a: [ctx.kas], ctx.b: [ctx.kbs],
+                 ctx.s: [ctx.kas, ctx.kbs]},
+        newkeys={0: (ctx.s, ctx.kab), 1: (ctx.a, ctx.kab),
+                 2: (ctx.b, ctx.kab)},
+    )
+
+
+def build_system():
+    """Normal run plus the classic attacks: a wiretapped ticket and a
+    cross-epoch ticket replay (the published weakness, concretely)."""
+    from repro.runtime import build_attack_system, with_replay, with_wiretap
+
+    ctx = make_context()
+    normal = scenario()
+    return build_attack_system(
+        normal,
+        [with_wiretap(normal, 2), with_replay(normal, 2)],
+        vocabulary=ctx.vocabulary,
+    )
+
+
+def ban_protocol(with_dubious_assumption: bool = False) -> IdealizedProtocol:
+    """The BAN idealization; pass ``with_dubious_assumption=True`` for
+    the repaired analysis BAN89 needed to push B's goal through."""
+    ctx = make_context()
+    assumptions = _common_assumptions(ctx)
+    if with_dubious_assumption:
+        assumptions += (Believes(ctx.b, Fresh(ctx.good)),)
+    steps = (
+        MessageStep(ctx.a, ctx.s, group(ctx.a, ctx.b, ctx.na)),
+        MessageStep(ctx.s, ctx.a, ctx.reply),
+        MessageStep(ctx.a, ctx.b, ctx.ticket),
+        MessageStep(ctx.b, ctx.a, ctx.handshake(ctx.b)),
+        MessageStep(ctx.a, ctx.b, ctx.handshake(ctx.a)),
+    )
+    suffix = "-dubious" if with_dubious_assumption else ""
+    return IdealizedProtocol(
+        name=f"needham-schroeder{suffix}",
+        logic="ban",
+        description="Needham-Schroeder shared-key protocol (BAN89 analysis)",
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b, ctx.s),
+        steps=steps,
+        assumptions=assumptions,
+        goals=_goals(ctx, with_dubious_assumption, "ban"),
+    )
+
+
+def at_protocol(with_dubious_assumption: bool = False) -> IdealizedProtocol:
+    """The reformulated idealization with forwarding and key possession."""
+    ctx = make_context()
+    assumptions = _common_assumptions(ctx) + (
+        Has(ctx.a, ctx.kas),
+        Has(ctx.b, ctx.kbs),
+        Has(ctx.s, ctx.kas),
+        Has(ctx.s, ctx.kbs),
+    )
+    if with_dubious_assumption:
+        assumptions += (Believes(ctx.b, Fresh(ctx.good)),)
+    steps = (
+        MessageStep(ctx.a, ctx.s, group(ctx.a, ctx.b, ctx.na)),
+        NewKeyStep(ctx.s, ctx.kab),
+        MessageStep(ctx.s, ctx.a, ctx.reply),
+        NewKeyStep(ctx.a, ctx.kab),
+        MessageStep(ctx.a, ctx.b, forwarded(ctx.ticket),
+                    note="A cannot read the ticket; it forwards it"),
+        NewKeyStep(ctx.b, ctx.kab),
+        MessageStep(ctx.b, ctx.a, ctx.handshake(ctx.b)),
+        MessageStep(ctx.a, ctx.b, ctx.handshake(ctx.a)),
+    )
+    suffix = "-dubious" if with_dubious_assumption else ""
+    return IdealizedProtocol(
+        name=f"needham-schroeder{suffix}",
+        logic="at",
+        description="Needham-Schroeder in the reformulated logic",
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b, ctx.s),
+        steps=steps,
+        assumptions=assumptions,
+        goals=_goals(ctx, with_dubious_assumption, "at"),
+    )

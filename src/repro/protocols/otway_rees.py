@@ -1,0 +1,178 @@
+"""The Otway-Rees protocol (BAN89 corpus).
+
+Concrete protocol (M is a run identifier)::
+
+    1. A -> B : M, A, B, {Na, M, A, B}_Kas
+    2. B -> S : M, A, B, {Na, M, A, B}_Kas, {Nb, M, A, B}_Kbs
+    3. S -> B : M, {Na, Kab}_Kas, {Nb, Kab}_Kbs
+    4. B -> A : M, {Na, Kab}_Kas
+
+BAN89 found Otway-Rees sound on its stated assumptions: both parties
+get a fresh key because the server echoes their own nonces under their
+own long-term keys.  Idealized (messages 1-2 only transport nonces and
+contribute nothing to beliefs; BAN89 likewise elides them)::
+
+    3. S -> B : {Na, (A <-Kab-> B)}_Kas, {Nb, (A <-Kab-> B)}_Kbs
+    4. B -> A : {Na, (A <-Kab-> B)}_Kas
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.base import Goal, IdealizedProtocol, MessageStep, NewKeyStep
+from repro.terms.atoms import Key, Nonce, Principal
+from repro.terms.formulas import (
+    Believes,
+    Controls,
+    Formula,
+    Fresh,
+    Has,
+    Says,
+    SharedKey,
+)
+from repro.terms.messages import encrypted, forwarded, group
+from repro.terms.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class ORContext:
+    vocabulary: Vocabulary
+    a: Principal
+    b: Principal
+    s: Principal
+    kas: Key
+    kbs: Key
+    kab: Key
+    na: Nonce
+    nb: Nonce
+    good: Formula
+
+    @property
+    def part_for_a(self):
+        return encrypted(group(self.na, self.good), self.kas, self.s)
+
+    @property
+    def part_for_b(self):
+        return encrypted(group(self.nb, self.good), self.kbs, self.s)
+
+
+def make_context() -> ORContext:
+    vocabulary = Vocabulary()
+    a, b, s = vocabulary.principals("A", "B", "S")
+    kas, kbs, kab = vocabulary.keys("Kas", "Kbs", "Kab")
+    na, nb = vocabulary.nonces("Na", "Nb")
+    return ORContext(vocabulary, a, b, s, kas, kbs, kab, na, nb,
+                     SharedKey(a, kab, b))
+
+
+def _assumptions(ctx: ORContext) -> tuple[Formula, ...]:
+    return (
+        Believes(ctx.a, SharedKey(ctx.a, ctx.kas, ctx.s)),
+        Believes(ctx.b, SharedKey(ctx.b, ctx.kbs, ctx.s)),
+        Believes(ctx.a, Controls(ctx.s, ctx.good)),
+        Believes(ctx.b, Controls(ctx.s, ctx.good)),
+        Believes(ctx.a, Fresh(ctx.na)),
+        Believes(ctx.b, Fresh(ctx.nb)),
+    )
+
+
+def scenario():
+    """The normal concrete execution (messages 3-4 of the protocol;
+    messages 1-2 only transport nonces)."""
+    from repro.runtime import message_flow
+    from repro.terms.messages import forwarded as fwd
+
+    ctx = make_context()
+    flow = [
+        (ctx.s, group(ctx.part_for_a, ctx.part_for_b), ctx.b),
+        (ctx.b, fwd(ctx.part_for_a), ctx.a),
+    ]
+    return message_flow(
+        "otway-rees-normal",
+        (ctx.a, ctx.b, ctx.s),
+        flow,
+        keysets={ctx.a: [ctx.kas], ctx.b: [ctx.kbs],
+                 ctx.s: [ctx.kas, ctx.kbs]},
+        newkeys={-1: (ctx.s, ctx.kab), 0: (ctx.b, ctx.kab),
+                 1: (ctx.a, ctx.kab)},
+    )
+
+
+def build_system():
+    """Normal run plus a lost message 4 (A never learns the key)."""
+    from repro.runtime import build_attack_system, with_lost_message
+
+    ctx = make_context()
+    normal = scenario()
+    return build_attack_system(
+        normal,
+        [with_lost_message(normal, 1)],
+        vocabulary=ctx.vocabulary,
+    )
+
+
+def ban_protocol() -> IdealizedProtocol:
+    ctx = make_context()
+    steps = (
+        MessageStep(ctx.s, ctx.b, group(ctx.part_for_a, ctx.part_for_b),
+                    note="message 3; messages 1-2 only transport nonces"),
+        MessageStep(ctx.b, ctx.a, ctx.part_for_a, note="message 4"),
+    )
+    goals = (
+        Goal("A-key", Believes(ctx.a, ctx.good)),
+        Goal("B-key", Believes(ctx.b, ctx.good)),
+        Goal("A-server", Believes(ctx.a, Believes(ctx.s, ctx.good))),
+        Goal("B-server", Believes(ctx.b, Believes(ctx.s, ctx.good))),
+        Goal("no-mutual", Believes(ctx.a, Believes(ctx.b, ctx.good)),
+             expected=False,
+             note="BAN89: Otway-Rees gives no key confirmation — neither "
+                  "party learns the other got the key"),
+    )
+    return IdealizedProtocol(
+        name="otway-rees",
+        logic="ban",
+        description="Otway-Rees (BAN89: sound, but no key confirmation)",
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b, ctx.s),
+        steps=steps,
+        assumptions=_assumptions(ctx),
+        goals=goals,
+    )
+
+
+def at_protocol() -> IdealizedProtocol:
+    ctx = make_context()
+    assumptions = _assumptions(ctx) + (
+        Has(ctx.a, ctx.kas),
+        Has(ctx.b, ctx.kbs),
+        Has(ctx.s, ctx.kas),
+        Has(ctx.s, ctx.kbs),
+    )
+    steps = (
+        NewKeyStep(ctx.s, ctx.kab),
+        MessageStep(ctx.s, ctx.b, group(ctx.part_for_a, ctx.part_for_b)),
+        NewKeyStep(ctx.b, ctx.kab),
+        MessageStep(ctx.b, ctx.a, forwarded(ctx.part_for_a),
+                    note="B cannot read A's part; it forwards it"),
+        NewKeyStep(ctx.a, ctx.kab),
+    )
+    goals = (
+        Goal("A-key", Believes(ctx.a, ctx.good)),
+        Goal("B-key", Believes(ctx.b, ctx.good)),
+        Goal("A-server-says", Believes(ctx.a, Says(ctx.s, ctx.good))),
+        Goal("B-server-says", Believes(ctx.b, Says(ctx.s, ctx.good))),
+        Goal("no-mutual", Believes(ctx.a, Says(ctx.b, ctx.good)),
+             expected=False,
+             note="no key confirmation; B only forwarded A's part"),
+    )
+    return IdealizedProtocol(
+        name="otway-rees",
+        logic="at",
+        description="Otway-Rees in the reformulated logic",
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b, ctx.s),
+        steps=steps,
+        assumptions=assumptions,
+        goals=goals,
+    )

@@ -1,0 +1,189 @@
+"""The Wide-Mouthed-Frog protocol (BAN89 corpus).
+
+The simplest server-based key-transport protocol; A generates the key::
+
+    1. A -> S : A, {Ta, B, Kab}_Kas
+    2. S -> B : {Ts, A, Kab}_Kbs
+
+Idealized (after BAN89)::
+
+    1. A -> S : {Ta, (A <-Kab-> B)}_Kas
+    2. S -> B : {Ts, A believes (A <-Kab-> B)}_Kbs
+
+Message 2 transports a *belief* — the server relays what A asserted —
+so B's derivation exercises nested jurisdiction: B trusts S to relay
+A's beliefs faithfully, and trusts A on the goodness of keys A makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.base import Goal, IdealizedProtocol, MessageStep, NewKeyStep
+from repro.terms.atoms import Key, Nonce, Principal
+from repro.terms.formulas import (
+    Believes,
+    Controls,
+    Formula,
+    Fresh,
+    Has,
+    Implies,
+    Says,
+    SharedKey,
+)
+from repro.terms.messages import encrypted, group
+from repro.terms.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class WMFContext:
+    vocabulary: Vocabulary
+    a: Principal
+    b: Principal
+    s: Principal
+    kas: Key
+    kbs: Key
+    kab: Key
+    ta: Nonce
+    ts: Nonce
+    good: Formula
+
+    @property
+    def to_server(self):
+        return encrypted(group(self.ta, self.good), self.kas, self.a)
+
+    @property
+    def to_b(self):
+        return encrypted(
+            group(self.ts, Believes(self.a, self.good)), self.kbs, self.s
+        )
+
+
+def make_context() -> WMFContext:
+    vocabulary = Vocabulary()
+    a, b, s = vocabulary.principals("A", "B", "S")
+    kas, kbs, kab = vocabulary.keys("Kas", "Kbs", "Kab")
+    ta, ts = vocabulary.nonces("Ta", "Ts")
+    return WMFContext(vocabulary, a, b, s, kas, kbs, kab, ta, ts,
+                      SharedKey(a, kab, b))
+
+
+def scenario():
+    """The normal concrete execution."""
+    from repro.runtime import message_flow
+
+    ctx = make_context()
+    flow = [
+        (ctx.a, ctx.to_server, ctx.s),
+        (ctx.s, ctx.to_b, ctx.b),
+    ]
+    return message_flow(
+        "wmf-normal",
+        (ctx.a, ctx.b, ctx.s),
+        flow,
+        keysets={ctx.a: [ctx.kas, ctx.kab], ctx.b: [ctx.kbs],
+                 ctx.s: [ctx.kas, ctx.kbs]},
+        newkeys={1: (ctx.b, ctx.kab)},
+    )
+
+
+def build_system():
+    """Normal run plus a cross-epoch replay of the server's message —
+    WMF's well-known dependence on synchronized clocks, concretely."""
+    from repro.runtime import build_attack_system, with_replay
+
+    ctx = make_context()
+    normal = scenario()
+    return build_attack_system(
+        normal,
+        [with_replay(normal, 1)],
+        vocabulary=ctx.vocabulary,
+    )
+
+
+def ban_protocol() -> IdealizedProtocol:
+    ctx = make_context()
+    assumptions = (
+        Believes(ctx.a, SharedKey(ctx.a, ctx.kas, ctx.s)),
+        Believes(ctx.s, SharedKey(ctx.a, ctx.kas, ctx.s)),
+        Believes(ctx.b, SharedKey(ctx.b, ctx.kbs, ctx.s)),
+        Believes(ctx.s, Fresh(ctx.ta)),
+        Believes(ctx.b, Fresh(ctx.ts)),
+        Believes(ctx.b, Controls(ctx.s, Believes(ctx.a, ctx.good))),
+        Believes(ctx.b, Controls(ctx.a, ctx.good)),
+        Believes(ctx.a, ctx.good,),
+    )
+    steps = (
+        MessageStep(ctx.a, ctx.s, ctx.to_server),
+        MessageStep(ctx.s, ctx.b, ctx.to_b),
+    )
+    goals = (
+        Goal("S-hears-A", Believes(ctx.s, Believes(ctx.a, ctx.good))),
+        Goal("B-hears-relay", Believes(ctx.b, Believes(ctx.a, ctx.good))),
+        Goal("B-key", Believes(ctx.b, ctx.good),
+             note="via nested jurisdiction: S relays A's belief, A controls "
+                  "the key's goodness"),
+    )
+    return IdealizedProtocol(
+        name="wide-mouth-frog",
+        logic="ban",
+        description="Wide-Mouthed Frog (BAN89; nested jurisdiction)",
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b, ctx.s),
+        steps=steps,
+        assumptions=assumptions,
+        goals=goals,
+    )
+
+
+def at_protocol() -> IdealizedProtocol:
+    """WMF in the reformulated logic.
+
+    Honesty-free reading: what B actually learns is that S recently
+    *said* that A believes the key good; B's trust assumptions make the
+    relayed belief (and then the key) true for B.
+    """
+    ctx = make_context()
+    assumptions = (
+        Believes(ctx.a, SharedKey(ctx.a, ctx.kas, ctx.s)),
+        Believes(ctx.s, SharedKey(ctx.a, ctx.kas, ctx.s)),
+        Believes(ctx.b, SharedKey(ctx.b, ctx.kbs, ctx.s)),
+        Believes(ctx.s, Fresh(ctx.ta)),
+        Believes(ctx.b, Fresh(ctx.ts)),
+        Believes(ctx.b, Controls(ctx.s, Believes(ctx.a, ctx.good))),
+        # Honesty made explicit (Section 3.2): B assumes A's beliefs about
+        # keys A generates are true.  This replaces BAN's "A controls" +
+        # implicit honesty.
+        Believes(ctx.b, Implies(Believes(ctx.a, ctx.good), ctx.good)),
+        Believes(ctx.a, ctx.good),
+        Has(ctx.a, ctx.kas),
+        Has(ctx.s, ctx.kas),
+        Has(ctx.s, ctx.kbs),
+        Has(ctx.b, ctx.kbs),
+        Has(ctx.a, ctx.kab),
+    )
+    steps = (
+        NewKeyStep(ctx.a, ctx.kab, note="A generates the session key"),
+        MessageStep(ctx.a, ctx.s, ctx.to_server),
+        MessageStep(ctx.s, ctx.b, ctx.to_b),
+        NewKeyStep(ctx.b, ctx.kab),
+    )
+    goals = (
+        Goal("S-hears-A", Believes(ctx.s, Says(ctx.a, ctx.good))),
+        Goal("B-hears-relay", Believes(ctx.b, Says(ctx.s,
+             Believes(ctx.a, ctx.good)))),
+        Goal("B-relayed-belief", Believes(ctx.b, Believes(ctx.a, ctx.good)),
+             note="jurisdiction over the relayed belief (A15)"),
+        Goal("B-key", Believes(ctx.b, ctx.good),
+             note="second jurisdiction step inside B's beliefs"),
+    )
+    return IdealizedProtocol(
+        name="wide-mouth-frog",
+        logic="at",
+        description="Wide-Mouthed Frog in the reformulated logic",
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b, ctx.s),
+        steps=steps,
+        assumptions=assumptions,
+        goals=goals,
+    )

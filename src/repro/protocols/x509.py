@@ -1,0 +1,223 @@
+"""The CCITT X.509 one-message protocol and its published defect.
+
+BAN89 (and l'Anson & Mitchell, cited by the paper as [AM90]) analyzed
+the X.509 authentication framework.  The one-message protocol signs a
+message that *contains* data encrypted for the recipient::
+
+    A -> B : A, {Ta, Na, B, Xa, {Yab}_Kb}_Ka⁻¹
+
+where Ka⁻¹ is A's private (signing) key and Kb is B's public
+(encryption) key.  The defect: **the signature covers the ciphertext,
+not the plaintext**, so B can conclude that A said the *blob*
+``{Yab}_Kb`` but not that A said (or even knows) ``Yab`` — an intruder
+can strip A's signature from an intercepted message and re-sign the
+blob as its own, never learning Yab.  In the logics this surfaces
+precisely: the saying axioms never descend through encryption
+(doing so is exactly the E4 incompleteness formula's unsound reading),
+so ``B believes A said Yab`` is underivable.
+
+The repaired variant signs first and encrypts second::
+
+    A -> B : {{Ta, Na, B, Xa, Yab}_Ka⁻¹}_Kb
+
+after which the conclusion goes through.
+
+This module exercises the full-paper public-key extension: key pairs,
+signature message-meaning (A5p / BAN-MM-pk), and asymmetric decryption
+in A8/A11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.base import Goal, IdealizedProtocol, MessageStep
+from repro.terms.atoms import Nonce, Principal, PrivateKey, PublicKey
+from repro.terms.formulas import (
+    Believes,
+    Formula,
+    Fresh,
+    Has,
+    PublicKeyOf,
+    Said,
+    Says,
+    SharedKey,
+)
+from repro.terms.messages import encrypted, group
+from repro.terms.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class X509Context:
+    vocabulary: Vocabulary
+    a: Principal
+    b: Principal
+    ka_pub: PublicKey
+    ka_priv: PrivateKey
+    kb_pub: PublicKey
+    kb_priv: PrivateKey
+    ta: Nonce
+    na: Nonce
+    xa: Nonce
+    yab: Formula  # the idealized secret: a session key assertion
+
+    @property
+    def blob(self):
+        """``{Yab}_Kb`` — the secret encrypted under B's public key."""
+        return encrypted(self.yab, self.kb_pub, self.a)
+
+    @property
+    def flawed_message(self):
+        """Sign-the-ciphertext (the standard's defect)."""
+        return encrypted(
+            group(self.ta, self.na, self.b, self.xa, self.blob),
+            self.ka_priv,
+            self.a,
+        )
+
+    @property
+    def repaired_message(self):
+        """Sign-then-encrypt (the recommended repair)."""
+        signed = encrypted(
+            group(self.ta, self.na, self.b, self.xa, self.yab),
+            self.ka_priv,
+            self.a,
+        )
+        return encrypted(signed, self.kb_pub, self.a)
+
+
+def make_context() -> X509Context:
+    vocabulary = Vocabulary()
+    a, b = vocabulary.principals("A", "B")
+    ka_pub, ka_priv = vocabulary.keypair("Ka")
+    kb_pub, kb_priv = vocabulary.keypair("Kb")
+    kab = vocabulary.key("Kab")
+    ta, na, xa = vocabulary.nonces("Ta", "Na", "Xa")
+    return X509Context(
+        vocabulary, a, b, ka_pub, ka_priv, kb_pub, kb_priv, ta, na, xa,
+        SharedKey(a, kab, b),
+    )
+
+
+def _assumptions(ctx: X509Context, logic: str) -> tuple[Formula, ...]:
+    assumptions: tuple[Formula, ...] = (
+        Believes(ctx.b, PublicKeyOf(ctx.a, ctx.ka_pub)),
+        Believes(ctx.b, PublicKeyOf(ctx.b, ctx.kb_pub)),
+        Believes(ctx.b, Fresh(ctx.ta)),
+    )
+    if logic == "at":
+        assumptions += (
+            Has(ctx.a, ctx.ka_priv),
+            Has(ctx.a, ctx.kb_pub),
+            Has(ctx.b, ctx.kb_priv),
+            Has(ctx.b, ctx.ka_pub),
+        )
+    return assumptions
+
+
+def _goals(ctx: X509Context, repaired: bool, logic: str) -> tuple[Goal, ...]:
+    defect_note = (
+        "the X.509 defect: the signature covers the ciphertext, so B "
+        "cannot attribute the plaintext Yab to A"
+    )
+    hears = (
+        Believes(ctx.b, Said(ctx.a, ctx.yab))
+        if logic == "ban"
+        else Believes(ctx.b, Says(ctx.a, ctx.yab))
+    )
+    reads = (
+        _sees(ctx.b, ctx.yab)
+        if logic == "ban"
+        else Believes(ctx.b, _sees(ctx.b, ctx.yab))
+    )
+    return (
+        Goal("B-reads-secret", reads,
+             note="B can decrypt the blob either way"),
+        Goal("B-attributes-Xa", Believes(ctx.b, Said(ctx.a, ctx.xa)),
+             note="the signed plaintext is attributable"),
+        Goal("B-attributes-secret", hears, expected=repaired,
+             note=defect_note),
+    )
+
+
+def _sees(principal: Principal, message) -> Formula:
+    from repro.terms.formulas import Sees
+
+    return Sees(principal, message)
+
+
+def _build(repaired: bool, logic: str) -> IdealizedProtocol:
+    ctx = make_context()
+    message = ctx.repaired_message if repaired else ctx.flawed_message
+    suffix = "-repaired" if repaired else ""
+    return IdealizedProtocol(
+        name=f"ccitt-x509{suffix}",
+        logic=logic,
+        description=(
+            "CCITT X.509 one-message protocol "
+            + ("(sign-then-encrypt repair)" if repaired
+               else "(published defect: signed ciphertext)")
+        ),
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b),
+        steps=(MessageStep(ctx.a, ctx.b, message),),
+        assumptions=_assumptions(ctx, logic),
+        goals=_goals(ctx, repaired, logic),
+    )
+
+
+def build_system():
+    """Concrete runs of the flawed protocol, including the classic
+    strip-and-re-sign attack.
+
+    The intruder C (the environment, holding its own key pair Kc and —
+    like everyone — B's public key) wiretaps A's signed message, strips
+    A's signature, and re-signs the *encrypted* blob with Kc⁻¹.  B then
+    holds a validly signed message from C containing a secret C has
+    never seen: ``Sees(Env, Yab)`` is false in the attack run even
+    though B can verify C's signature over the blob.
+
+    (One modelling wrinkle, faithful to ``said-submsgs``: because the
+    blob's encryption key Kb is *public*, the attacker "could have
+    built" it and so is formally considered to have said Yab.  The
+    paper's accountability reading of saying is maximally harsh here;
+    seeing is the construct that separates the attacker from A.)
+    """
+    from repro.model.builder import RunBuilder
+    from repro.model.runs import ENVIRONMENT
+    from repro.model.system import system_of
+
+    ctx = make_context()
+    kc_pub = PublicKey("Kc")
+
+    def keysets():
+        return {
+            ctx.a: [ctx.ka_priv, ctx.kb_pub, kc_pub],
+            ctx.b: [ctx.kb_priv, ctx.ka_pub, kc_pub],
+        }
+
+    builder = RunBuilder([ctx.a, ctx.b], keysets=keysets(),
+                         env_keys=[ctx.ka_pub, ctx.kb_pub, kc_pub.partner])
+    builder.send(ctx.a, ctx.flawed_message, ctx.b)
+    builder.receive(ctx.b)
+    normal = builder.build("x509-normal")
+
+    builder = RunBuilder([ctx.a, ctx.b], keysets=keysets(),
+                         env_keys=[ctx.ka_pub, ctx.kb_pub, kc_pub.partner])
+    builder.send(ctx.a, ctx.flawed_message, ENVIRONMENT)
+    builder.receive(ENVIRONMENT)
+    resigned = encrypted(group(ctx.ta, ctx.na, ctx.b, ctx.xa, ctx.blob),
+                         kc_pub.partner, ctx.a)
+    builder.send(ENVIRONMENT, resigned, ctx.b)
+    builder.receive(ctx.b)
+    attack = builder.build("x509-resign-attack")
+
+    return system_of([normal, attack], vocabulary=ctx.vocabulary)
+
+
+def ban_protocol(repaired: bool = False) -> IdealizedProtocol:
+    return _build(repaired, "ban")
+
+
+def at_protocol(repaired: bool = False) -> IdealizedProtocol:
+    return _build(repaired, "at")

@@ -1,0 +1,210 @@
+"""The Yahalom protocol — the paper's showcase for ``has`` + forwarding.
+
+Concrete protocol (the BAN89 variant that protects B's nonce)::
+
+    1. A -> B : A, Na
+    2. B -> S : B, {A, Na, Nb}_Kbs
+    3. S -> A : {B, Kab, Na, Nb}_Kas, {A, Kab, Nb}_Kbs
+    4. A -> B : {A, Kab, Nb}_Kbs, {Nb}_Kab
+
+Section 3.1: "Now, possessing a key is a concept distinct from holding
+any beliefs about the quality of the key.  This decoupling seems
+essential for obtaining a sound semantic basis.  It also increases the
+power of the logic, as it becomes easy to analyze the Yahalom protocol
+and similar protocols."  The crux is step 4: A *forwards* a ciphertext
+under Kbs that it cannot read — in the original logic this either
+violates the implicit honesty assumption (A would be "saying" contents
+it cannot even see) or is inexpressible; with the forwarding syntax and
+``has``, the analysis is direct.
+
+Idealized::
+
+    2. B -> S : {(Na, Nb)^B}_Kbs                   (conveys the nonces)
+    3. S -> A : {(A <-Kab-> B), Na, Nb}_Kas,
+                '{(A <-Kab-> B), Nb}_Kbs'          (blob for B)
+    4. A -> B : '{(A <-Kab-> B), Nb}_Kbs', {Nb}_Kab
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.base import Goal, IdealizedProtocol, MessageStep, NewKeyStep
+from repro.terms.atoms import Key, Nonce, Principal
+from repro.terms.formulas import (
+    Believes,
+    Controls,
+    Formula,
+    Fresh,
+    Has,
+    Said,
+    Says,
+    SharedKey,
+)
+from repro.terms.messages import encrypted, forwarded, group
+from repro.terms.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class YahalomContext:
+    vocabulary: Vocabulary
+    a: Principal
+    b: Principal
+    s: Principal
+    kas: Key
+    kbs: Key
+    kab: Key
+    na: Nonce
+    nb: Nonce
+    good: Formula
+
+    @property
+    def nonces_to_s(self):
+        """Message 2: B conveys the nonces to S."""
+        return encrypted(group(self.na, self.nb), self.kbs, self.b)
+
+    @property
+    def blob_for_b(self):
+        """``{(A <-Kab-> B), Nb}_Kbs`` from S — unreadable to A."""
+        return encrypted(group(self.good, self.nb), self.kbs, self.s)
+
+    @property
+    def part_for_a(self):
+        return encrypted(group(self.good, self.na, self.nb), self.kas, self.s)
+
+    @property
+    def key_confirmation(self):
+        """``{Nb}_Kab`` from A — proves A recently used the key."""
+        return encrypted(self.nb, self.kab, self.a)
+
+
+def make_context() -> YahalomContext:
+    vocabulary = Vocabulary()
+    a, b, s = vocabulary.principals("A", "B", "S")
+    kas, kbs, kab = vocabulary.keys("Kas", "Kbs", "Kab")
+    na, nb = vocabulary.nonces("Na", "Nb")
+    return YahalomContext(vocabulary, a, b, s, kas, kbs, kab, na, nb,
+                          SharedKey(a, kab, b))
+
+
+def _assumptions(ctx: YahalomContext) -> tuple[Formula, ...]:
+    return (
+        Believes(ctx.a, SharedKey(ctx.a, ctx.kas, ctx.s)),
+        Believes(ctx.b, SharedKey(ctx.b, ctx.kbs, ctx.s)),
+        Believes(ctx.a, Controls(ctx.s, ctx.good)),
+        Believes(ctx.b, Controls(ctx.s, ctx.good)),
+        Believes(ctx.a, Fresh(ctx.na)),
+        Believes(ctx.b, Fresh(ctx.nb)),
+    )
+
+
+def scenario():
+    """The normal concrete execution (A forwards B's blob unread)."""
+    from repro.runtime import message_flow
+    from repro.terms.messages import forwarded as fwd
+
+    ctx = make_context()
+    flow = [
+        (ctx.b, ctx.nonces_to_s, ctx.s),
+        (ctx.s, group(ctx.part_for_a, ctx.blob_for_b), ctx.a),
+        (ctx.a, group(fwd(ctx.blob_for_b), ctx.key_confirmation), ctx.b),
+    ]
+    return message_flow(
+        "yahalom-normal",
+        (ctx.a, ctx.b, ctx.s),
+        flow,
+        keysets={ctx.a: [ctx.kas], ctx.b: [ctx.kbs],
+                 ctx.s: [ctx.kas, ctx.kbs]},
+        newkeys={0: (ctx.s, ctx.kab), 1: (ctx.a, ctx.kab),
+                 2: (ctx.b, ctx.kab)},
+    )
+
+
+def build_system():
+    """Normal run plus a wiretapped distribution and a lost final
+    message (B never learns the key)."""
+    from repro.runtime import (
+        build_attack_system,
+        with_lost_message,
+        with_wiretap,
+    )
+
+    ctx = make_context()
+    normal = scenario()
+    return build_attack_system(
+        normal,
+        [with_wiretap(normal, 1), with_lost_message(normal, 2)],
+        vocabulary=ctx.vocabulary,
+    )
+
+
+def ban_protocol() -> IdealizedProtocol:
+    """Yahalom in the original logic.
+
+    The analysis goes through syntactically, but only by treating A's
+    relay of ``{..}_Kbs`` as A *saying* a message it cannot read — the
+    honesty problem Section 3.2 diagnoses.
+    """
+    ctx = make_context()
+    steps = (
+        MessageStep(ctx.b, ctx.s, ctx.nonces_to_s),
+        MessageStep(ctx.s, ctx.a, group(ctx.part_for_a, ctx.blob_for_b)),
+        MessageStep(ctx.a, ctx.b, group(ctx.blob_for_b, ctx.key_confirmation),
+                    note="A relays a ciphertext it cannot read"),
+    )
+    goals = (
+        Goal("A-key", Believes(ctx.a, ctx.good)),
+        Goal("B-key", Believes(ctx.b, ctx.good)),
+        Goal("B-server", Believes(ctx.b, Believes(ctx.s, ctx.good))),
+    )
+    return IdealizedProtocol(
+        name="yahalom",
+        logic="ban",
+        description="Yahalom (BAN89; relies on honesty for A's relay)",
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b, ctx.s),
+        steps=steps,
+        assumptions=_assumptions(ctx),
+        goals=goals,
+    )
+
+
+def at_protocol() -> IdealizedProtocol:
+    """Yahalom in the reformulated logic: the relay is an explicit
+    forwarding, so A is never considered to have said the blob's
+    contents — no honesty needed (the E9 experiment)."""
+    ctx = make_context()
+    assumptions = _assumptions(ctx) + (
+        Has(ctx.a, ctx.kas),
+        Has(ctx.b, ctx.kbs),
+        Has(ctx.s, ctx.kas),
+        Has(ctx.s, ctx.kbs),
+    )
+    steps = (
+        MessageStep(ctx.b, ctx.s, ctx.nonces_to_s),
+        NewKeyStep(ctx.s, ctx.kab),
+        MessageStep(ctx.s, ctx.a, group(ctx.part_for_a, ctx.blob_for_b)),
+        NewKeyStep(ctx.a, ctx.kab),
+        MessageStep(ctx.a, ctx.b,
+                    group(forwarded(ctx.blob_for_b), ctx.key_confirmation)),
+        NewKeyStep(ctx.b, ctx.kab),
+    )
+    goals = (
+        Goal("A-key", Believes(ctx.a, ctx.good)),
+        Goal("B-key", Believes(ctx.b, ctx.good)),
+        Goal("B-server-says", Believes(ctx.b, Says(ctx.s, ctx.good))),
+        Goal("A-never-says-blob", Believes(ctx.b, Said(ctx.a, ctx.good)),
+             expected=False,
+             note="A forwarded the blob; the has/forwarding machinery keeps "
+                  "it from 'saying' contents it cannot read (Section 3.1)"),
+    )
+    return IdealizedProtocol(
+        name="yahalom",
+        logic="at",
+        description="Yahalom in the reformulated logic (E9)",
+        vocabulary=ctx.vocabulary,
+        principals=(ctx.a, ctx.b, ctx.s),
+        steps=steps,
+        assumptions=assumptions,
+        goals=goals,
+    )

@@ -1,0 +1,33 @@
+"""Concrete protocol execution: scenarios, attacks, and systems."""
+
+from repro.runtime.attacks import (
+    build_attack_system,
+    with_lost_message,
+    with_replay,
+    with_wiretap,
+)
+from repro.runtime.scenario import (
+    Scenario,
+    ScriptEpoch,
+    ScriptInternal,
+    ScriptNewKey,
+    ScriptReceive,
+    ScriptSend,
+    execute,
+    message_flow,
+)
+
+__all__ = [
+    "build_attack_system",
+    "with_lost_message",
+    "with_replay",
+    "with_wiretap",
+    "Scenario",
+    "ScriptEpoch",
+    "ScriptInternal",
+    "ScriptNewKey",
+    "ScriptReceive",
+    "ScriptSend",
+    "execute",
+    "message_flow",
+]

@@ -1,0 +1,136 @@
+"""Attacker transformations on scenarios.
+
+The environment "represents other principals trying to attack an
+authentication protocol" (Section 5).  Under perfect encryption its
+powers are exactly what the well-formedness conditions leave open: it
+can intercept, delay, drop, copy, and replay traffic, and it can lie in
+from fields and misuse the forwarding syntax — but it cannot build a
+ciphertext without the key (WF3).
+
+Each transformation here rewrites a normal-execution
+:class:`~repro.runtime.scenario.Scenario` into an adversarial variant;
+collecting the variants into one :class:`~repro.model.system.System`
+gives belief something real to quantify over.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ProtocolError
+from repro.model.runs import ENVIRONMENT
+from repro.model.system import Interpretation, System
+from repro.runtime.scenario import (
+    Scenario,
+    ScriptEpoch,
+    ScriptReceive,
+    ScriptSend,
+    execute,
+)
+from repro.terms.vocabulary import Vocabulary
+
+
+def _send_indices(scenario: Scenario) -> list[int]:
+    return [
+        index
+        for index, action in enumerate(scenario.actions)
+        if isinstance(action, ScriptSend)
+    ]
+
+
+def _nth_send(scenario: Scenario, n: int) -> int:
+    sends = _send_indices(scenario)
+    if not 0 <= n < len(sends):
+        raise ProtocolError(
+            f"scenario {scenario.name!r} has {len(sends)} sends, "
+            f"index {n} out of range"
+        )
+    return sends[n]
+
+
+def with_lost_message(scenario: Scenario, send_number: int,
+                      name: str | None = None) -> Scenario:
+    """Drop the delivery of the n-th send (the message stays in the
+    buffer forever — sent, never received)."""
+    index = _nth_send(scenario, send_number)
+    send = scenario.actions[index]
+    assert isinstance(send, ScriptSend)
+    actions = list(scenario.actions)
+    # remove the first matching delivery after the send
+    for later in range(index + 1, len(actions)):
+        action = actions[later]
+        if (
+            isinstance(action, ScriptReceive)
+            and action.principal == send.recipient
+            and (action.expect is None or action.expect == send.message)
+        ):
+            del actions[later]
+            break
+    else:
+        raise ProtocolError("no delivery found for the chosen send")
+    return scenario.with_actions(actions).renamed(
+        name or f"{scenario.name}-lost-{send_number}"
+    )
+
+
+def with_wiretap(scenario: Scenario, send_number: int,
+                 name: str | None = None) -> Scenario:
+    """Route the n-th send through the environment.
+
+    The recipient still gets the exact message (the environment relays
+    a copy, which WF3 permits since it has seen it), but the
+    environment now *sees* it — the model of a compromised network
+    segment.
+    """
+    index = _nth_send(scenario, send_number)
+    send = scenario.actions[index]
+    assert isinstance(send, ScriptSend)
+    actions = list(scenario.actions)
+    actions[index : index + 1] = [
+        ScriptSend(send.sender, send.message, ENVIRONMENT),
+        ScriptReceive(ENVIRONMENT, send.message),
+        ScriptSend(ENVIRONMENT, send.message, send.recipient),
+    ]
+    return scenario.with_actions(actions).renamed(
+        name or f"{scenario.name}-wiretap-{send_number}"
+    )
+
+
+def with_replay(scenario: Scenario, send_number: int,
+                name: str | None = None) -> Scenario:
+    """Run the whole scenario in the *past*, then replay one recorded
+    message in a fresh epoch.
+
+    The original execution (with the chosen send wiretapped so the
+    environment holds a copy) happens before time 0; the attack is the
+    lone replayed delivery in the present.  This is the Needham-
+    Schroeder / Andrew-RPC attack shape: everything the victim sees is
+    authentic — just old.
+    """
+    wiretapped = with_wiretap(scenario, send_number)
+    index = _nth_send(scenario, send_number)
+    send = scenario.actions[index]
+    assert isinstance(send, ScriptSend)
+    actions = list(wiretapped.actions)
+    actions.append(ScriptEpoch())
+    actions.append(ScriptSend(ENVIRONMENT, send.message, send.recipient))
+    actions.append(ScriptReceive(send.recipient, send.message))
+    return scenario.with_actions(actions).renamed(
+        name or f"{scenario.name}-replay-{send_number}"
+    )
+
+
+def build_attack_system(
+    normal: Scenario,
+    variants: Iterable[Scenario] = (),
+    vocabulary: Vocabulary | None = None,
+    interpretation: Interpretation | None = None,
+) -> System:
+    """Execute the normal scenario plus its adversarial variants."""
+    runs = [execute(normal)]
+    runs.extend(execute(variant) for variant in variants)
+    return System(
+        tuple(runs),
+        interpretation or Interpretation.empty(),
+        vocabulary or Vocabulary(),
+    )

@@ -1,0 +1,175 @@
+"""Declarative execution scenarios for concrete protocols.
+
+A :class:`Scenario` is a replayable description of one execution: the
+cast of principals with their initial key sets, and a sequence of
+script actions.  :func:`execute` runs it through the well-formedness-
+enforcing :class:`~repro.model.builder.RunBuilder`, yielding a run of
+the Section 5 model.
+
+Scenarios exist so that attacker transformations
+(:mod:`repro.runtime.attacks`) can be expressed as *scenario-to-
+scenario* rewrites — wiretapping a message, dropping a delivery,
+replaying recorded traffic in a fresh epoch — and so that a protocol's
+system (its set of runs) can be generated from one normal execution
+plus a family of adversarial variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Union
+
+from repro.errors import ProtocolError
+from repro.model.builder import RunBuilder
+from repro.model.runs import ENVIRONMENT, Run
+from repro.terms.atoms import Atom, Key, Parameter, Principal
+from repro.terms.base import Message
+
+
+@dataclass(frozen=True)
+class ScriptSend:
+    """``sender`` transmits ``message`` to ``recipient``."""
+
+    sender: Principal
+    message: Message
+    recipient: Principal
+    unchecked: bool = False
+
+
+@dataclass(frozen=True)
+class ScriptReceive:
+    """``principal`` delivers one buffered message (FIFO, or a specific
+    expected message)."""
+
+    principal: Principal
+    expect: Message | None = None
+
+
+@dataclass(frozen=True)
+class ScriptNewKey:
+    principal: Principal
+    key: Key
+
+
+@dataclass(frozen=True)
+class ScriptInternal:
+    principal: Principal
+    label: str
+    data: tuple[tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class ScriptEpoch:
+    """Marks the epoch boundary: everything before is 'the past'."""
+
+
+ScriptAction = Union[
+    ScriptSend, ScriptReceive, ScriptNewKey, ScriptInternal, ScriptEpoch
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A replayable concrete execution."""
+
+    name: str
+    principals: tuple[Principal, ...]
+    keysets: tuple[tuple[Principal, tuple[Key, ...]], ...] = ()
+    env_keys: tuple[Key, ...] = ()
+    actions: tuple[ScriptAction, ...] = ()
+    params: tuple[tuple[Parameter, Atom], ...] = ()
+
+    def renamed(self, name: str) -> "Scenario":
+        return replace(self, name=name)
+
+    def with_actions(self, actions: Iterable[ScriptAction]) -> "Scenario":
+        return replace(self, actions=tuple(actions))
+
+    def appended(self, *actions: ScriptAction) -> "Scenario":
+        return replace(self, actions=self.actions + actions)
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        principals: Iterable[Principal],
+        keysets: Mapping[Principal, Iterable[Key]] | None = None,
+        env_keys: Iterable[Key] = (),
+        params: Mapping[Parameter, Atom] | None = None,
+    ) -> "Scenario":
+        packed_keys = tuple(
+            sorted(
+                (
+                    (principal, tuple(keys))
+                    for principal, keys in (keysets or {}).items()
+                ),
+                key=lambda kv: kv[0].name,
+            )
+        )
+        packed_params = tuple(
+            sorted((params or {}).items(), key=lambda kv: kv[0].name)
+        )
+        return cls(
+            name=name,
+            principals=tuple(principals),
+            keysets=packed_keys,
+            env_keys=tuple(env_keys),
+            params=packed_params,
+        )
+
+
+def execute(scenario: Scenario) -> Run:
+    """Run the scenario through the WF-enforcing builder."""
+    builder = RunBuilder(
+        scenario.principals,
+        keysets={principal: keys for principal, keys in scenario.keysets},
+        env_keys=scenario.env_keys,
+    )
+    for action in scenario.actions:
+        if isinstance(action, ScriptSend):
+            builder.send(
+                action.sender, action.message, action.recipient,
+                unchecked=action.unchecked,
+            )
+        elif isinstance(action, ScriptReceive):
+            builder.receive(action.principal, action.expect)
+        elif isinstance(action, ScriptNewKey):
+            builder.newkey(action.principal, action.key)
+        elif isinstance(action, ScriptInternal):
+            builder.internal(action.principal, action.label,
+                             dict(action.data) or None)
+        elif isinstance(action, ScriptEpoch):
+            builder.mark_epoch()
+        else:  # pragma: no cover - exhaustive
+            raise ProtocolError(f"unknown script action {action!r}")
+    return builder.build(scenario.name, params=dict(scenario.params))
+
+
+def message_flow(
+    name: str,
+    principals: Iterable[Principal],
+    flow: Iterable[tuple[Principal, Message, Principal]],
+    keysets: Mapping[Principal, Iterable[Key]] | None = None,
+    env_keys: Iterable[Key] = (),
+    newkeys: Mapping[int, tuple[Principal, Key]] | None = None,
+) -> Scenario:
+    """Build a scenario from a simple send/receive flow.
+
+    ``flow`` lists (sender, message, recipient) triples executed in
+    order, each followed by the matching delivery.  ``newkeys`` maps a
+    flow index to a (principal, key) pair performed *after* that
+    delivery — the typical "extract the session key" step.
+    """
+    scenario = Scenario.create(name, principals, keysets, env_keys)
+    actions: list[ScriptAction] = []
+    newkeys = newkeys or {}
+    if -1 in newkeys:
+        principal, key = newkeys[-1]
+        actions.append(ScriptNewKey(principal, key))
+    for index, (sender, message, recipient) in enumerate(flow):
+        actions.append(ScriptSend(sender, message, recipient))
+        actions.append(ScriptReceive(recipient, message))
+        if index in newkeys:
+            principal, key = newkeys[index]
+            actions.append(ScriptNewKey(principal, key))
+    return scenario.with_actions(actions)

@@ -1,0 +1,108 @@
+"""Good-run vectors: the parameter of the belief semantics (Section 6).
+
+A principal with preconceived beliefs "is restricting its set of
+possible worlds to those in which its preconceptions are true".  The
+paper models this with a vector ``G = (G_1, ..., G_n)`` assigning each
+system principal a set of *good runs*; the points P_i considers
+possible at (r, k) are the points of runs in G_i whose hidden local
+state matches.
+
+Vectors are ordered pointwise by set inclusion: ``G' <= G`` iff
+``G'_i ⊆ G_i`` for every i.  Shrinking a good-run set can only add
+beliefs (Section 7), which is what makes *maximal* supporting vectors
+the canonical choice.
+
+Construction of a vector from initial assumptions is the business of
+:mod:`repro.goodruns`; this module only defines the data type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Mapping
+
+from repro.errors import SemanticsError
+from repro.model.system import System
+from repro.terms.atoms import Principal
+
+
+@dataclass(frozen=True)
+class GoodRunVector:
+    """An assignment of good-run sets (by run name) to principals.
+
+    Principals absent from ``entries`` default to *all* runs good —
+    belief for them degenerates to (hidden-state) knowledge.
+    """
+
+    entries: tuple[tuple[Principal, frozenset[str]], ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [principal.name for principal, _ in self.entries]
+        if names != sorted(names):
+            raise SemanticsError("GoodRunVector entries must be sorted by name")
+        if len(set(names)) != len(names):
+            raise SemanticsError("GoodRunVector has duplicate principals")
+
+    @cached_property
+    def _map(self) -> Mapping[Principal, frozenset[str]]:
+        return dict(self.entries)
+
+    def good_runs(self, principal: Principal) -> frozenset[str] | None:
+        """The good-run names for a principal, or None meaning "all runs"."""
+        return self._map.get(principal)
+
+    def restricts(self, principal: Principal) -> bool:
+        return principal in self._map
+
+    @classmethod
+    def of(
+        cls, assignment: Mapping[Principal, Iterable[str]]
+    ) -> "GoodRunVector":
+        entries = tuple(
+            sorted(
+                ((principal, frozenset(names)) for principal, names in
+                 assignment.items()),
+                key=lambda kv: kv[0].name,
+            )
+        )
+        return cls(entries)
+
+    @classmethod
+    def all_runs(cls, system: System) -> "GoodRunVector":
+        """The top vector: every run is good for every system principal."""
+        names = frozenset(run.name for run in system.runs)
+        return cls.of({principal: names for principal in system.principals()})
+
+    # -- the pointwise order -------------------------------------------------
+
+    def leq(self, other: "GoodRunVector", system: System) -> bool:
+        """Pointwise inclusion ``self <= other`` over the system's principals."""
+        all_names = frozenset(run.name for run in system.runs)
+        for principal in system.principals():
+            mine = self.good_runs(principal)
+            theirs = other.good_runs(principal)
+            mine = all_names if mine is None else mine
+            theirs = all_names if theirs is None else theirs
+            if not mine <= theirs:
+                return False
+        return True
+
+    def meet(self, other: "GoodRunVector", system: System) -> "GoodRunVector":
+        """Pointwise intersection."""
+        all_names = frozenset(run.name for run in system.runs)
+        assignment = {}
+        for principal in system.principals():
+            mine = self.good_runs(principal)
+            theirs = other.good_runs(principal)
+            mine = all_names if mine is None else mine
+            theirs = all_names if theirs is None else theirs
+            assignment[principal] = mine & theirs
+        return GoodRunVector.of(assignment)
+
+    def describe(self) -> str:
+        parts = [
+            f"{principal.name}: {{{', '.join(sorted(names))}}}"
+            for principal, names in self.entries
+        ]
+        return "G(" + "; ".join(parts) + ")"

@@ -1,0 +1,138 @@
+"""The ``hide`` operation (Section 6).
+
+Before computing the points a principal considers possible, its local
+state is passed through ``hide``, which replaces every encrypted
+message the principal cannot read by the placeholder ``⊥``: "if we do
+not hide unreadable encrypted messages, then P's local state will
+contain {X^Q}_K at all points it considers possible, and hence P will
+believe that {X^Q}_K contains X even though P cannot read X!"
+
+Following the extended abstract's example — ``({X^Q}_K, {Y^R}_K')``
+becomes "something like ``(⊥, {Y^R}_K')``" — all unreadable ciphertexts
+collapse to the *same* symbol ``⊥`` (:class:`~repro.terms.atoms.Opaque`).
+A variant, :func:`hide_message_pattern`, instead numbers distinct
+unreadable ciphertexts consistently (``⊥1``, ``⊥2``, ...), modelling a
+principal that can compare ciphertext bits without reading them; the
+benchmark suite contrasts the two (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet
+
+from repro.model.actions import Action, Internal, NewKey, Receive, Send
+from repro.model.runs import Run
+from repro.terms.atoms import Key, Nonce, Opaque, Principal, decryption_key
+from repro.terms.base import Message
+from repro.terms.messages import Encrypted
+from repro.terms.ops import children, rebuild
+
+#: The single collapse placeholder.
+OPAQUE = Opaque()
+
+#: Hidden views are plain nested tuples: hashable and value-compared.
+HiddenView = tuple
+
+
+def hide_message(keys: AbstractSet[Key], message: Message) -> Message:
+    """Blind every ciphertext not decryptable with ``keys``.
+
+    Readable ciphertexts keep their structure (their bodies are hidden
+    recursively — an unreadable inner ciphertext inside a readable outer
+    one is still blinded).  All other constructors, including
+    combinations ``(X)_Y`` whose bits are visible even when the secret
+    is not recognized, are traversed structurally.
+    """
+    if isinstance(message, Encrypted):
+        if decryption_key(message.key) not in keys:
+            return OPAQUE
+        body = hide_message(keys, message.body)
+        if body is message.body:
+            return message
+        return Encrypted(body, message.key, message.sender)
+    kids = children(message)
+    new_kids = tuple(hide_message(keys, kid) for kid in kids)
+    if new_kids == kids:
+        return message
+    return rebuild(message, new_kids)
+
+
+def hide_message_pattern(
+    keys: AbstractSet[Key],
+    message: Message,
+    numbering: dict[Encrypted, Nonce],
+) -> Message:
+    """Pattern variant: distinct unreadable ciphertexts get distinct,
+    consistently assigned markers.
+
+    ``numbering`` is shared across all messages of one local state so
+    that the *pattern* of repeated ciphertexts is preserved — the same
+    unreadable blob hides to the same marker everywhere it occurs.
+    """
+    if isinstance(message, Encrypted):
+        if decryption_key(message.key) not in keys:
+            marker = numbering.get(message)
+            if marker is None:
+                marker = Nonce(f"opaque{len(numbering) + 1}")
+                numbering[message] = marker
+            return marker
+        body = hide_message_pattern(keys, message.body, numbering)
+        if body is message.body:
+            return message
+        return Encrypted(body, message.key, message.sender)
+    kids = children(message)
+    new_kids = tuple(hide_message_pattern(keys, kid, numbering) for kid in kids)
+    if new_kids == kids:
+        return message
+    return rebuild(message, new_kids)
+
+
+def _hide_action(keys: AbstractSet[Key], action: Action, hider) -> tuple:
+    """Render an action as a hashable tuple with messages hidden."""
+    match action:
+        case Send(message, recipient):
+            return ("send", hider(keys, message), recipient)
+        case Receive(message):
+            return ("receive", hider(keys, message))
+        case NewKey(key):
+            return ("newkey", key)
+        case Internal(label):
+            return ("internal", label)
+        case _:  # pragma: no cover - exhaustive over Action
+            raise TypeError(f"unknown action {action!r}")
+
+
+def hidden_local_view(
+    run: Run, principal: Principal, k: int, pattern: bool = False
+) -> HiddenView:
+    """``hide(r_i(k))``: the principal's local state with unreadable
+    ciphertexts blinded, as a hashable value.
+
+    For a system principal the view is (hidden history, key set, data).
+    For the environment it is its projected global history plus its key
+    set and the (hidden) buffers it manages.
+    """
+    keys = run.keyset(principal, k)
+    if pattern:
+        numbering: dict[Encrypted, Nonce] = {}
+
+        def hider(keyset: AbstractSet[Key], message: Message) -> Message:
+            return hide_message_pattern(keyset, message, numbering)
+
+    else:
+        hider = hide_message
+
+    if principal == run.environment:
+        env = run.state(k).env
+        history = tuple(
+            (who, _hide_action(keys, action, hider)) for who, action in env.history
+        )
+        buffers = tuple(
+            (who, tuple(hider(keys, message) for message in pending))
+            for who, pending in env.buffers
+        )
+        return ("env", history, keys, buffers, env.data)
+
+    local = run.local(principal, k)
+    history = tuple(_hide_action(keys, action, hider) for action in local.history)
+    return ("local", history, keys, local.data)

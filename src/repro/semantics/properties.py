@@ -1,0 +1,106 @@
+"""System-level semantic properties: validity, satisfaction, stability.
+
+*Validity* over a system means truth at every point of every run; it is
+the property Theorem 1 asserts of the axioms and the property preserved
+by the inference rules R1 (modus ponens) and R2 (necessitation).
+
+*Stability* (Sections 2.3 and 4.3) means "once true, always true" along
+each run; the protocol-annotation procedure is sound only for stable
+formulas, which is why annotation formulas must avoid negation around
+belief.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.model.system import Point
+from repro.semantics.evaluator import Evaluator
+from repro.terms.formulas import Formula
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A point falsifying a property, for reporting."""
+
+    formula: Formula
+    run_name: str
+    time: int
+    reason: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" ({self.reason})" if self.reason else ""
+        return f"({self.run_name}, {self.time}) falsifies {self.formula}{suffix}"
+
+
+def find_validity_counterexample(
+    evaluator: Evaluator, formula: Formula
+) -> Counterexample | None:
+    """The first point where the formula is false, or None if valid."""
+    for run, k in evaluator.system.points():
+        if not evaluator.evaluate(formula, run, k):
+            return Counterexample(formula, run.name, k)
+    return None
+
+
+def is_valid(evaluator: Evaluator, formula: Formula) -> bool:
+    """True iff the formula holds at every point of the system."""
+    return find_validity_counterexample(evaluator, formula) is None
+
+
+def is_valid_in_epoch(evaluator: Evaluator, formula: Formula) -> bool:
+    """Truth at every point of the current epoch (k >= 0) of every run."""
+    for run in evaluator.system.runs:
+        for _run, k in run.epoch_points():
+            if not evaluator.evaluate(formula, run, k):
+                return False
+    return True
+
+
+def holds_initially(evaluator: Evaluator, formula: Formula) -> bool:
+    """Truth at the time-0 point of every run (Section 7's "initially true")."""
+    return all(
+        evaluator.evaluate(formula, run, 0) for run in evaluator.system.runs
+    )
+
+
+def satisfying_points(
+    evaluator: Evaluator, formula: Formula
+) -> Iterator[Point]:
+    for run, k in evaluator.system.points():
+        if evaluator.evaluate(formula, run, k):
+            yield (run, k)
+
+
+def find_stability_counterexample(
+    evaluator: Evaluator, formula: Formula
+) -> Counterexample | None:
+    """A point where the formula flips true -> false along a run.
+
+    A formula φ is *stable* if, in every run, once φ becomes true it
+    stays true at every later time.
+    """
+    for run in evaluator.system.runs:
+        became_true_at: int | None = None
+        for k in run.times:
+            value = evaluator.evaluate(formula, run, k)
+            if value and became_true_at is None:
+                became_true_at = k
+            if not value and became_true_at is not None:
+                return Counterexample(
+                    formula,
+                    run.name,
+                    k,
+                    f"was true at {became_true_at}, false at {k}",
+                )
+    return None
+
+
+def is_stable(evaluator: Evaluator, formula: Formula) -> bool:
+    """True iff the formula is stable in every run of the system."""
+    return find_stability_counterexample(evaluator, formula) is None
+
+
+def all_stable(evaluator: Evaluator, formulas: Iterable[Formula]) -> bool:
+    return all(is_stable(evaluator, formula) for formula in formulas)

@@ -1,0 +1,49 @@
+"""Empirical soundness, incompleteness, and audit harnesses (Theorem 1)."""
+
+from repro.soundness.audit import (
+    AuditEntry,
+    AuditReport,
+    assumptions_vector,
+    audit_protocol,
+)
+from repro.soundness.generators import (
+    GeneratorConfig,
+    RandomRunGenerator,
+    generate_system,
+    generate_systems,
+    make_vocabulary,
+)
+from repro.soundness.incompleteness import (
+    IncompletenessResult,
+    check_incompleteness,
+    incompleteness_formula,
+)
+from repro.soundness.sweep import (
+    SchemaReport,
+    SweepReport,
+    ViolationRecord,
+    pool_from_system,
+    sweep_system,
+    sweep_systems,
+)
+
+__all__ = [
+    "AuditEntry",
+    "AuditReport",
+    "assumptions_vector",
+    "audit_protocol",
+    "GeneratorConfig",
+    "RandomRunGenerator",
+    "generate_system",
+    "generate_systems",
+    "make_vocabulary",
+    "IncompletenessResult",
+    "check_incompleteness",
+    "incompleteness_formula",
+    "SchemaReport",
+    "SweepReport",
+    "ViolationRecord",
+    "pool_from_system",
+    "sweep_system",
+    "sweep_systems",
+]

@@ -1,0 +1,99 @@
+"""Engine-vs-semantics audit: derived facts must be true in the model.
+
+The annotation procedure (Sections 2.3/4.3) is sound when (a) the rules
+are valid and (b) annotation formulas are stable.  The audit closes the
+loop end-to-end for a protocol that has a concrete execution: build the
+protocol's system, construct the good-run vector from the protocol's
+initial assumptions (Section 7), and evaluate every goal the engine
+derived at the final point of the normal run.
+
+A mismatch means either an engine rule outran the semantics (e.g. the
+A11 nesting subtlety on an adversarially varied system) or the system
+lacks the runs that would justify an initial assumption — both worth
+reporting, neither silently ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.annotate import AnalysisReport, analyze
+from repro.goodruns.assumptions import InitialAssumptions
+from repro.goodruns.construction import construct_good_runs
+from repro.model.system import System
+from repro.protocols.base import IdealizedProtocol
+from repro.semantics.evaluator import Evaluator
+from repro.terms.atoms import Principal
+from repro.terms.formulas import Believes, Formula
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    formula: Formula
+    derived: bool
+    semantically_true: bool
+
+    @property
+    def consistent(self) -> bool:
+        """Derived facts must be true; underivable facts may be either."""
+        return (not self.derived) or self.semantically_true
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    protocol_name: str
+    run_name: str
+    time: int
+    entries: tuple[AuditEntry, ...]
+
+    @property
+    def consistent(self) -> bool:
+        return all(entry.consistent for entry in self.entries)
+
+    def inconsistencies(self) -> tuple[AuditEntry, ...]:
+        return tuple(e for e in self.entries if not e.consistent)
+
+
+def assumptions_vector(protocol: IdealizedProtocol) -> InitialAssumptions:
+    """Collect the protocol's belief-shaped assumptions per principal.
+
+    Assumptions violating restriction I1 — e.g. the explicit-honesty
+    implications ``B believes (A believes φ ⊃ φ)``, whose belief sits
+    inside a defined-via-negation connective — are skipped: Section 7's
+    construction is only defined for I1-satisfying vectors.
+    """
+    from repro.terms.ops import has_belief_under_negation
+
+    per_principal: dict[Principal, list[Formula]] = {}
+    for assumption in protocol.assumptions:
+        if not isinstance(assumption, Believes):
+            continue
+        if not isinstance(assumption.principal, Principal):
+            continue
+        if has_belief_under_negation(assumption):
+            continue
+        per_principal.setdefault(assumption.principal, []).append(assumption)
+    return InitialAssumptions.of(per_principal)
+
+
+def audit_protocol(
+    protocol: IdealizedProtocol,
+    system: System,
+    run_name: str,
+    report: AnalysisReport | None = None,
+    pattern_hide: bool = False,
+) -> AuditReport:
+    """Evaluate the protocol's goals against the model at the final point."""
+    report = report or analyze(protocol)
+    assumptions = assumptions_vector(protocol).restrict_to(system)
+    construction = construct_good_runs(system, assumptions,
+                                       pattern_hide=pattern_hide)
+    evaluator = Evaluator(system, construction.vector,
+                          pattern_hide=pattern_hide)
+    run = system.run(run_name)
+    time = run.end_time
+    entries = []
+    for result in report.goal_results:
+        truth = evaluator.evaluate(result.goal.formula, run, time)
+        entries.append(AuditEntry(result.goal.formula, result.achieved, truth))
+    return AuditReport(protocol.name, run_name, time, tuple(entries))

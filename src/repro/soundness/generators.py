@@ -1,0 +1,252 @@
+"""Random well-formed systems for the empirical soundness sweep (E3).
+
+Theorem 1 asserts the axiomatization sound over *all* systems of the
+Section 5 model; the harness approximates the quantifier by generating
+many small random systems — random principals, key sets, and action
+schedules, including environment interference and past-epoch traffic —
+and model-checking every axiom instance at every point.
+
+Generation goes through :class:`~repro.model.builder.RunBuilder` with
+enforcement on, so every run satisfies WF0-WF5 by construction; actions
+that would violate a condition are simply skipped.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ModelError, WellFormednessError
+from repro.model.builder import RunBuilder
+from repro.model.runs import ENVIRONMENT, Run
+from repro.model.system import Interpretation, System
+from repro.terms.atoms import Key, Nonce, Principal, PrivateKey, PublicKey
+from repro.terms.base import Message
+from repro.terms.formulas import Formula, Fresh, Has, SharedKey
+from repro.terms.messages import combined, encrypted, forwarded, group
+from repro.terms.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for random system generation."""
+
+    principals: int = 3
+    keys: int = 3
+    nonces: int = 3
+    keypairs: int = 1
+    runs: int = 3
+    steps_per_run: int = 14
+    past_steps: int = 3
+    env_activity: float = 0.25
+    seed: int = 0
+
+
+def make_vocabulary(config: GeneratorConfig) -> Vocabulary:
+    vocabulary = Vocabulary()
+    for index in range(config.principals):
+        vocabulary.principal(f"P{index + 1}")
+    for index in range(config.keys):
+        vocabulary.key(f"K{index + 1}")
+    for index in range(config.keypairs):
+        vocabulary.keypair(f"Kp{index + 1}")
+    for index in range(config.nonces):
+        vocabulary.nonce(f"N{index + 1}")
+    vocabulary.principal(ENVIRONMENT.name)
+    return vocabulary
+
+
+class RandomRunGenerator:
+    """Generates one well-formed run per call."""
+
+    def __init__(self, config: GeneratorConfig, rng: random.Random,
+                 vocabulary: Vocabulary) -> None:
+        self.config = config
+        self.rng = rng
+        self.vocabulary = vocabulary
+        self.principals = [
+            p for p in vocabulary.constants(_sort_principal())
+            if p != ENVIRONMENT
+        ]
+        all_keys = list(vocabulary.constants(_sort_key()))
+        self.public_keys = [k for k in all_keys if isinstance(k, PublicKey)]
+        # Symmetric keys circulate via keysets/newkey; private halves are
+        # dealt to their owners at run start.
+        self.keys = [k for k in all_keys if not isinstance(k, PublicKey)]
+        self.nonces = list(vocabulary.constants(_sort_nonce()))
+
+    def generate(self, name: str) -> Run:
+        rng = self.rng
+        keysets = {
+            principal: rng.sample(self.keys, rng.randint(0, len(self.keys)))
+            for principal in self.principals
+        }
+        # Everyone knows every public key; each private key is dealt to
+        # one fixed owner (by index, so runs of a system agree).
+        for index, public in enumerate(self.public_keys):
+            owner = self.principals[index % len(self.principals)]
+            keysets[owner] = list(keysets[owner]) + [public.partner]
+            for principal in self.principals:
+                keysets[principal] = list(keysets[principal]) + [public]
+        env_keys = list(rng.sample(self.keys, rng.randint(0, 1)))
+        env_keys.extend(self.public_keys)
+        builder = RunBuilder(self.principals, keysets=keysets,
+                             env_keys=env_keys)
+        for _ in range(self.config.past_steps):
+            self._random_step(builder)
+        builder.mark_epoch()
+        for _ in range(self.config.steps_per_run):
+            self._random_step(builder)
+        return builder.build(name)
+
+    # -- step synthesis -----------------------------------------------------------
+
+    def _random_step(self, builder: RunBuilder) -> None:
+        rng = self.rng
+        actors = list(self.principals)
+        if rng.random() < self.config.env_activity:
+            actors = [builder.environment]
+        actor = rng.choice(actors)
+        choices = ["send", "receive", "newkey", "idle"]
+        action = rng.choice(choices)
+        try:
+            if action == "send":
+                recipient = rng.choice(self.principals + [builder.environment])
+                message = self._random_message(builder, actor)
+                builder.send(actor, message, recipient)
+            elif action == "receive":
+                if builder.buffer(actor):
+                    builder.receive(actor)
+                else:
+                    builder.idle()
+            elif action == "newkey":
+                builder.newkey(actor, rng.choice(self.keys))
+            else:
+                builder.idle()
+        except (WellFormednessError, ModelError):
+            builder.idle()
+
+    def _random_message(self, builder: RunBuilder, sender: Principal) -> Message:
+        """A random message the sender can legally produce."""
+        rng = self.rng
+        depth = rng.randint(1, 3)
+        return self._build_message(builder, sender, depth)
+
+    def _build_message(
+        self, builder: RunBuilder, sender: Principal, depth: int
+    ) -> Message:
+        rng = self.rng
+        atoms: list[Message] = list(self.nonces)
+        atoms.extend(
+            SharedKey(rng.choice(self.principals), key,
+                      rng.choice(self.principals))
+            for key in rng.sample(self.keys, min(1, len(self.keys)))
+        )
+        received = list(builder.received(sender))
+        if depth <= 1 or rng.random() < 0.4:
+            if received and rng.random() < 0.3:
+                return rng.choice(received)
+            return rng.choice(atoms)
+        kind = rng.choice(["group", "encrypt", "combine", "forward", "atom"])
+        if kind == "group":
+            count = rng.randint(2, 3)
+            parts = tuple(
+                self._build_message(builder, sender, depth - 1)
+                for _ in range(count)
+            )
+            return group(*parts)
+        if kind == "encrypt":
+            held = sorted(builder.keyset(sender), key=str)
+            # bias towards signing when a private key is held
+            private = [k for k in held if str(k).startswith("inv(")]
+            if private and rng.random() < 0.4:
+                key = rng.choice(private)
+                body = self._build_message(builder, sender, depth - 1)
+                from_field = (
+                    sender
+                    if sender != builder.environment
+                    else rng.choice(self.principals + [builder.environment])
+                )
+                return encrypted(body, key, from_field)
+            if not held:
+                return rng.choice(atoms)
+            key = rng.choice(held)
+            body = self._build_message(builder, sender, depth - 1)
+            from_field = (
+                sender
+                if sender != builder.environment
+                else rng.choice(self.principals + [builder.environment])
+            )
+            return encrypted(body, key, from_field)
+        if kind == "combine":
+            body = self._build_message(builder, sender, depth - 1)
+            secret = rng.choice(self.nonces)
+            from_field = (
+                sender
+                if sender != builder.environment
+                else rng.choice(self.principals + [builder.environment])
+            )
+            return combined(body, secret, from_field)
+        if kind == "forward":
+            seen = sorted(builder.received(sender), key=str)
+            if seen:
+                return forwarded(rng.choice(seen))
+            if sender == builder.environment:
+                # the environment may misuse forwarding (WF5 exempts it)
+                return forwarded(rng.choice(atoms))
+            return rng.choice(atoms)
+        return rng.choice(atoms)
+
+
+def generate_system(config: GeneratorConfig | None = None) -> System:
+    """A random small well-formed system with a run-level interpretation."""
+    config = config or GeneratorConfig()
+    rng = random.Random(config.seed)
+    vocabulary = make_vocabulary(config)
+    generator = RandomRunGenerator(config, rng, vocabulary)
+    runs = tuple(
+        generator.generate(f"run-{index + 1}") for index in range(config.runs)
+    )
+    prop = vocabulary.proposition("p0")
+    chosen = frozenset(
+        run.name for run in runs if rng.random() < 0.5
+    )
+    interpretation = Interpretation.from_run_table({prop: chosen})
+    return System(runs, interpretation, vocabulary)
+
+
+def generate_systems(count: int, base_seed: int = 0,
+                     config: GeneratorConfig | None = None) -> tuple[System, ...]:
+    base = config or GeneratorConfig()
+    systems = []
+    for index in range(count):
+        cfg = GeneratorConfig(
+            principals=base.principals,
+            keys=base.keys,
+            nonces=base.nonces,
+            runs=base.runs,
+            steps_per_run=base.steps_per_run,
+            past_steps=base.past_steps,
+            env_activity=base.env_activity,
+            seed=base_seed + index,
+        )
+        systems.append(generate_system(cfg))
+    return tuple(systems)
+
+
+def _sort_principal():
+    from repro.terms.atoms import Sort
+
+    return Sort.PRINCIPAL
+
+
+def _sort_key():
+    from repro.terms.atoms import Sort
+
+    return Sort.KEY
+
+
+def _sort_nonce():
+    from repro.terms.atoms import Sort
+
+    return Sort.NONCE

@@ -1,0 +1,76 @@
+"""The incompleteness exhibit (end of Section 6, experiment E4).
+
+"One might also ask whether the axiomatization is complete.  We believe
+the answer is 'no.'  For example,
+
+    P controls (P has K) ∧ P says (P has K, {X^P}_K) ⊃ P says X
+
+is a valid formula but it does not seem to be derivable."
+
+This module builds the formula, checks its *validity* over generated
+systems (it should never be falsified), and shows the derivation engine
+cannot reach the conclusion from the premises — the mechanical version
+of "does not seem to be derivable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.annotate import make_engine
+from repro.logic.engine import MessagePool
+from repro.model.system import System
+from repro.semantics.evaluator import Evaluator
+from repro.semantics.properties import Counterexample, find_validity_counterexample
+from repro.terms.atoms import Key, Principal
+from repro.terms.base import Message
+from repro.terms.formulas import And, Controls, Formula, Has, Implies, Says
+from repro.terms.messages import encrypted, group
+
+
+def incompleteness_formula(
+    principal: Principal, key: Key, payload: Message
+) -> Formula:
+    """``P controls (P has K) ∧ P says (P has K, {X^P}_K) ⊃ P says X``."""
+    has = Has(principal, key)
+    ciphertext = encrypted(payload, key, principal)
+    return Implies(
+        And(Controls(principal, has), Says(principal, group(has, ciphertext))),
+        Says(principal, payload),
+    )
+
+
+@dataclass(frozen=True)
+class IncompletenessResult:
+    formula: Formula
+    validity_counterexample: Counterexample | None
+    engine_derives: bool
+
+    @property
+    def reproduces_paper(self) -> bool:
+        """Valid (no counterexample) yet not derivable by the engine."""
+        return self.validity_counterexample is None and not self.engine_derives
+
+
+def check_incompleteness(
+    system: System,
+    principal: Principal,
+    key: Key,
+    payload: Message,
+) -> IncompletenessResult:
+    """Run both halves of E4 on one system."""
+    formula = incompleteness_formula(principal, key, payload)
+    evaluator = Evaluator(system)
+    counterexample = find_validity_counterexample(evaluator, formula)
+
+    has = Has(principal, key)
+    ciphertext = encrypted(payload, key, principal)
+    premises = (
+        Controls(principal, has),
+        Says(principal, group(has, ciphertext)),
+    )
+    goal = Says(principal, payload)
+    engine = make_engine("at")
+    pool = MessagePool(premises + (goal,))
+    derivation = engine.close(premises, pool)
+    return IncompletenessResult(formula, counterexample, derivation.holds(goal))

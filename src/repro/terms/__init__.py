@@ -1,0 +1,159 @@
+"""The term language of the logic: messages ``M_T`` and formulas ``F_T``.
+
+This package implements Section 4.1 of Abadi & Tuttle (PODC '91): a
+two-sorted language in which every formula is a message, so idealized
+protocols can send formulas inside messages.
+
+Quick tour::
+
+    >>> from repro.terms import Vocabulary, parse_formula
+    >>> vocab = Vocabulary()
+    >>> A, B, S = vocab.principals("A", "B", "S")
+    >>> Kab, Kas = vocab.keys("Kab", "Kas")
+    >>> f = parse_formula("A believes A <-Kab-> B", vocab)
+    >>> str(f)
+    'A believes A <-Kab-> B'
+"""
+
+from repro.terms.atoms import (
+    Atom,
+    Key,
+    Nonce,
+    Opaque,
+    Parameter,
+    PrimitiveProposition,
+    Principal,
+    PrivateKey,
+    PublicKey,
+    Sort,
+    decryption_key,
+)
+from repro.terms.base import Message
+from repro.terms.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Believes,
+    Controls,
+    ForAll,
+    Formula,
+    Fresh,
+    Has,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Prim,
+    PublicKeyOf,
+    Said,
+    Says,
+    Sees,
+    SharedKey,
+    SharedSecret,
+    Truth,
+    belief_depth,
+    believes_chain,
+    conj,
+    disj,
+    implies_chain,
+    strip_beliefs,
+)
+from repro.terms.messages import (
+    Combined,
+    Encrypted,
+    Forwarded,
+    Group,
+    combined,
+    encrypted,
+    flatten,
+    forwarded,
+    group,
+    group_parts,
+)
+from repro.terms.ops import (
+    children,
+    constants_of_sort,
+    depth,
+    free_parameters,
+    has_belief_under_negation,
+    is_ground,
+    is_negation_free,
+    rebuild,
+    size,
+    submessages,
+    submessages_of_all,
+    substitute,
+    transform,
+    walk,
+)
+from repro.terms.parser import parse_formula, parse_message
+from repro.terms.vocabulary import Vocabulary
+
+__all__ = [
+    "Atom",
+    "Key",
+    "Nonce",
+    "Opaque",
+    "Parameter",
+    "PrimitiveProposition",
+    "Principal",
+    "PrivateKey",
+    "PublicKey",
+    "decryption_key",
+    "Sort",
+    "Message",
+    "FALSE",
+    "TRUE",
+    "And",
+    "Believes",
+    "Controls",
+    "ForAll",
+    "Formula",
+    "Fresh",
+    "Has",
+    "Iff",
+    "Implies",
+    "Not",
+    "Or",
+    "Prim",
+    "PublicKeyOf",
+    "Said",
+    "Says",
+    "Sees",
+    "SharedKey",
+    "SharedSecret",
+    "Truth",
+    "belief_depth",
+    "believes_chain",
+    "conj",
+    "disj",
+    "implies_chain",
+    "strip_beliefs",
+    "Combined",
+    "Encrypted",
+    "Forwarded",
+    "Group",
+    "combined",
+    "encrypted",
+    "flatten",
+    "forwarded",
+    "group",
+    "group_parts",
+    "children",
+    "constants_of_sort",
+    "depth",
+    "free_parameters",
+    "has_belief_under_negation",
+    "is_ground",
+    "is_negation_free",
+    "rebuild",
+    "size",
+    "submessages",
+    "submessages_of_all",
+    "substitute",
+    "transform",
+    "walk",
+    "parse_formula",
+    "parse_message",
+    "Vocabulary",
+]

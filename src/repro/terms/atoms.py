@@ -1,0 +1,210 @@
+"""Primitive terms of the language (the set ``T`` of Section 4.1).
+
+The paper assumes a set ``T`` of *primitive terms* containing disjoint
+sets of constant symbols:
+
+* **primitive propositions** (``PrimitiveProposition``) — the atoms of
+  the formula sublanguage;
+* **principals** (``Principal``) — the agents P, Q, R, S of a protocol;
+* **shared keys** (``Key``) — encryption keys such as ``Kab``;
+* remaining constants such as nonces and timestamps (``Nonce``).
+
+Section 8 extends idealized protocols with *parameters*: distinguished
+symbols whose value is determined per run (``Parameter``).  A parameter
+carries a :class:`Sort` saying what kind of constant it ranges over.
+
+Finally, :class:`Opaque` is the ``⊥`` placeholder used by the ``hide``
+operation of Section 6 to replace ciphertexts a principal cannot read.
+It is not part of the user-facing language; it only appears in hidden
+local states.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TermError
+from repro.terms.base import Message
+
+
+def _check_name(name: str) -> None:
+    """Reject empty or non-identifier-ish constant names early.
+
+    Names appear in printed formulas and in the parser's vocabulary, so
+    insisting on non-empty, whitespace-free names keeps round-tripping
+    unambiguous.
+    """
+    if not isinstance(name, str) or not name:
+        raise TermError(f"constant name must be a non-empty string, got {name!r}")
+    if any(ch.isspace() for ch in name):
+        raise TermError(f"constant name may not contain whitespace: {name!r}")
+    for forbidden in "(){},'\"<>~&|":
+        if forbidden in name:
+            raise TermError(f"constant name may not contain {forbidden!r}: {name!r}")
+
+
+class Sort(enum.Enum):
+    """The sort of a constant or parameter.
+
+    Used by parameters (Section 8) and by universal quantification over
+    constants, which ranges over all constants of one sort.
+    """
+
+    PRINCIPAL = "principal"
+    KEY = "key"
+    NONCE = "nonce"
+    PROPOSITION = "proposition"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Atom(Message):
+    """Common base class for primitive terms (condition M2).
+
+    Every atom is a message; primitive propositions are additionally
+    formulas (condition F1) and are wrapped by
+    :class:`repro.terms.formulas.Prim` when used as such.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+
+    @property
+    def sort(self) -> Sort:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Principal(Atom):
+    """A principal constant: a person, computer, or server."""
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.PRINCIPAL
+
+
+@dataclass(frozen=True)
+class Key(Atom):
+    """A shared encryption key constant."""
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.KEY
+
+
+@dataclass(frozen=True)
+class PublicKey(Key):
+    """The public half of a key pair (the Section 8 / full-paper
+    public-key extension, treated "as in [BAN89]").
+
+    ``{X}_Kpub`` is public-key encryption: anyone holding the public
+    key can build it, only the holder of the private partner can read
+    it.  ``{X}_Kpriv`` is a signature: only the private-key holder can
+    build it, anyone with the public partner can read it.
+    """
+
+    @property
+    def partner(self) -> "PrivateKey":
+        return PrivateKey(self.name)
+
+
+@dataclass(frozen=True)
+class PrivateKey(Key):
+    """The private half of a key pair; see :class:`PublicKey`.
+
+    Prints as ``inv(K)`` (BAN89's K⁻¹) so the two halves are never
+    ambiguous in rendered formulas.
+    """
+
+    @property
+    def partner(self) -> "PublicKey":
+        return PublicKey(self.name)
+
+    def __str__(self) -> str:
+        return f"inv({self.name})"
+
+
+def decryption_key(key: "Key") -> "Key":
+    """The key needed to *read* a ciphertext built with ``key``.
+
+    Symmetric keys decrypt themselves; asymmetric ciphertexts are read
+    with the partner half (private reads public-encrypted, public
+    verifies private-signed).
+    """
+    if isinstance(key, (PublicKey, PrivateKey)):
+        return key.partner
+    return key
+
+
+@dataclass(frozen=True)
+class Nonce(Atom):
+    """A data constant: a nonce, timestamp, or other uninterpreted datum.
+
+    The paper lumps these together as "the remaining constant symbols in
+    T [which] represent things like nonces".
+    """
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.NONCE
+
+
+@dataclass(frozen=True)
+class PrimitiveProposition(Atom):
+    """A primitive proposition constant (condition F1).
+
+    Its truth at a point is given by the system's interpretation
+    ``pi`` (Section 6).  Use :class:`repro.terms.formulas.Prim` to embed
+    one into the formula language.
+    """
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.PROPOSITION
+
+
+@dataclass(frozen=True)
+class Parameter(Message):
+    """A schematic symbol whose value is fixed per run (Section 8).
+
+    An idealized protocol is written schematically: the symbol ``Kab``
+    in the Kerberos idealization stands for whatever key the server
+    generated in a particular run.  A run assigns a value (a constant of
+    the matching sort) to each parameter; formulas are evaluated after
+    substituting those values.
+    """
+
+    name: str
+    value_sort: Sort
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+        if not isinstance(self.value_sort, Sort):
+            raise TermError(f"parameter sort must be a Sort, got {self.value_sort!r}")
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Opaque(Message):
+    """The ``⊥`` placeholder for an unreadable ciphertext.
+
+    ``hide`` (Section 6) replaces every encrypted submessage whose key a
+    principal does not hold by this constant, so that indistinguishable
+    local states do not leak the contents of messages the principal
+    cannot decrypt.  All unreadable ciphertexts collapse to the *same*
+    placeholder, exactly as in the paper's example where
+    ``({X}_K, {Y}_K')`` becomes ``(⊥, {Y}_K')``.
+    """
+
+    def __str__(self) -> str:
+        return "⊥"

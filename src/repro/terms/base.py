@@ -1,0 +1,40 @@
+"""Abstract base class for the message language ``M_T``.
+
+The language of Section 4.1 is two-sorted: *messages* are the things
+principals can send, and *formulas* are the sublanguage of messages to
+which truth values can be assigned (condition M1).  That containment is
+mirrored directly in the class hierarchy::
+
+    Message
+    ├── Atom / Parameter / Opaque        (repro.terms.atoms)
+    ├── Group / Encrypted / Combined / Forwarded   (repro.terms.messages)
+    └── Formula                           (repro.terms.formulas)
+        ├── Prim, Not, And, Or, Implies, Iff, Truth
+        ├── Believes, Controls, Sees, Said, Says
+        ├── SharedKey, SharedSecret, Fresh, Has
+        └── ForAll                        (Section 8 extension)
+
+All nodes are frozen dataclasses: structurally immutable, hashable, and
+compared by value, which is exactly what a symbolic term language needs
+(sub-message sets, fact sets, and memo tables all key on terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message of the language ``M_T`` (Section 4.1).
+
+    Subclasses implement ``__str__`` to render the paper's notation.
+    Use :func:`repro.terms.ops.submessages` and friends for traversal
+    rather than poking at fields generically.
+    """
+
+    def is_formula(self) -> bool:
+        """Return True iff this message belongs to the sublanguage ``F_T``."""
+        from repro.terms.formulas import Formula
+
+        return isinstance(self, Formula)

@@ -1,0 +1,471 @@
+"""The formula sublanguage ``F_T`` (conditions F1-F8 of Section 4.1).
+
+Formulas are the messages to which truth values can be assigned.  The
+constructors below follow the paper's grammar:
+
+* F1 — :class:`Prim` wraps a primitive proposition;
+* F2 — :class:`Not` and :class:`And`; the paper defines the other
+  propositional connectives in terms of these, and we make
+  :class:`Or`, :class:`Implies`, :class:`Iff`, and :class:`Truth`
+  first-class nodes with the *defined* semantics so that printed
+  formulas and axiom instances stay readable;
+* F3 — :class:`Believes` and :class:`Controls`;
+* F4 — :class:`Sees`, :class:`Said`, :class:`Says`;
+* F5 — :class:`SharedSecret` (``P <-X-> Q`` for a secret X);
+* F6 — :class:`SharedKey`   (``P <-K-> Q`` for a key K);
+* F7 — :class:`Fresh`;
+* F8 — :class:`Has`.
+
+Section 8's universal quantification over constants is provided by
+:class:`ForAll`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import TermError
+from repro.terms.atoms import Parameter, PrimitiveProposition
+from repro.terms.base import Message
+from repro.terms.messages import (
+    _require_key_like,
+    _require_message,
+    _require_principal_like,
+)
+
+
+@dataclass(frozen=True)
+class Formula(Message):
+    """A formula of ``F_T``.  Every formula is a message (condition M1)."""
+
+
+def _require_formula(value: object, role: str) -> None:
+    if not isinstance(value, Formula):
+        raise TermError(f"{role} must be a Formula, got {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Propositional part (F1, F2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Prim(Formula):
+    """A primitive proposition used as a formula (F1)."""
+
+    atom: PrimitiveProposition
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.atom, PrimitiveProposition):
+            raise TermError(f"Prim needs a PrimitiveProposition, got {self.atom!r}")
+
+    def __str__(self) -> str:
+        return self.atom.name
+
+
+@dataclass(frozen=True)
+class Truth(Formula):
+    """The constant true formula.
+
+    Section 7 uses ``P_i believes ... P_i believes true`` to pad
+    assumption strata; a first-class constant keeps that construction
+    direct.
+    """
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation (F2)."""
+
+    body: Formula
+
+    def __post_init__(self) -> None:
+        _require_formula(self.body, "Not body")
+
+    def __str__(self) -> str:
+        return f"~{_wrap(self.body)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Binary conjunction (F2)."""
+
+    left: Formula
+    right: Formula
+
+    def __post_init__(self) -> None:
+        _require_formula(self.left, "And left")
+        _require_formula(self.right, "And right")
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} & {_wrap(self.right)}"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction; definable as ``~(~p & ~q)`` and given that semantics."""
+
+    left: Formula
+    right: Formula
+
+    def __post_init__(self) -> None:
+        _require_formula(self.left, "Or left")
+        _require_formula(self.right, "Or right")
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} | {_wrap(self.right)}"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication; definable as ``~(p & ~q)`` and given that semantics."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def __post_init__(self) -> None:
+        _require_formula(self.antecedent, "Implies antecedent")
+        _require_formula(self.consequent, "Implies consequent")
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.antecedent)} -> {_wrap(self.consequent)}"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    """Biconditional; definable from ``&`` and ``->``."""
+
+    left: Formula
+    right: Formula
+
+    def __post_init__(self) -> None:
+        _require_formula(self.left, "Iff left")
+        _require_formula(self.right, "Iff right")
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} <-> {_wrap(self.right)}"
+
+
+# ---------------------------------------------------------------------------
+# Modal and authentication constructs (F3-F8)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Believes(Formula):
+    """``P believes φ`` (F3).
+
+    Belief is resource-bounded defensible knowledge: φ holds at every
+    point P considers possible, where possibility is restricted to the
+    *good runs* consistent with P's preconceptions and local states are
+    compared after hiding unreadable ciphertexts (Section 6).
+    """
+
+    principal: Message
+    body: Formula
+
+    def __post_init__(self) -> None:
+        _require_principal_like(self.principal, "Believes principal")
+        _require_formula(self.body, "Believes body")
+
+    def __str__(self) -> str:
+        return f"{self.principal} believes {_wrap(self.body)}"
+
+
+@dataclass(frozen=True)
+class Controls(Formula):
+    """``P controls φ`` (F3): P has jurisdiction over φ.
+
+    Semantically (Section 6): at every time ``k' >= 0`` of the run, if P
+    says φ then φ holds.  Because of the quantification over the whole
+    epoch this is *more* than shorthand for ``P says φ -> φ``.
+    """
+
+    principal: Message
+    body: Formula
+
+    def __post_init__(self) -> None:
+        _require_principal_like(self.principal, "Controls principal")
+        _require_formula(self.body, "Controls body")
+
+    def __str__(self) -> str:
+        return f"{self.principal} controls {_wrap(self.body)}"
+
+
+@dataclass(frozen=True)
+class Sees(Formula):
+    """``P sees X`` (F4): P received a message with readable component X."""
+
+    principal: Message
+    message: Message
+
+    def __post_init__(self) -> None:
+        _require_principal_like(self.principal, "Sees principal")
+        _require_message(self.message, "Sees message")
+
+    def __str__(self) -> str:
+        return f"{self.principal} sees {_wrap_msg(self.message)}"
+
+
+@dataclass(frozen=True)
+class Said(Formula):
+    """``P said X`` (F4): P sent a message containing the component X.
+
+    The components P is "considered to have said" are computed by
+    ``said_submsgs`` with the key set P held *when it sent* the message
+    (Section 6) — acquiring a key later does not retroactively commit P
+    to ciphertext contents.
+    """
+
+    principal: Message
+    message: Message
+
+    def __post_init__(self) -> None:
+        _require_principal_like(self.principal, "Said principal")
+        _require_message(self.message, "Said message")
+
+    def __str__(self) -> str:
+        return f"{self.principal} said {_wrap_msg(self.message)}"
+
+
+@dataclass(frozen=True)
+class Says(Formula):
+    """``P says X`` (F4): P sent X *in the present epoch* (Section 3.2).
+
+    This construct lets axiom A20 express freshness directly ("a fresh
+    message must have been recently said") and lets jurisdiction (A15)
+    avoid the ill-defined honesty assumption.
+    """
+
+    principal: Message
+    message: Message
+
+    def __post_init__(self) -> None:
+        _require_principal_like(self.principal, "Says principal")
+        _require_message(self.message, "Says message")
+
+    def __str__(self) -> str:
+        return f"{self.principal} says {_wrap_msg(self.message)}"
+
+
+@dataclass(frozen=True)
+class SharedSecret(Formula):
+    """``P <-X-> Q`` (F5): X is a shared secret between P and Q.
+
+    Semantically: at every time of the run, any principal R other than P
+    and Q that said a message combined with X had previously *seen* that
+    combination — i.e. only P and Q originate X-combinations.
+    """
+
+    left: Message
+    secret: Message
+    right: Message
+
+    def __post_init__(self) -> None:
+        _require_principal_like(self.left, "SharedSecret left principal")
+        _require_message(self.secret, "SharedSecret secret")
+        _require_principal_like(self.right, "SharedSecret right principal")
+
+    def __str__(self) -> str:
+        return f"{self.left} <-{self.secret}-> {self.right} (secret)"
+
+
+@dataclass(frozen=True)
+class SharedKey(Formula):
+    """``P <-K-> Q`` (F6): K is a shared key for P and Q.
+
+    Following Section 3.1's analysis, goodness of a key is defined by
+    *who encrypts with it*, not by secrecy: P and Q are the only
+    principals encrypting messages with K; others may relay copies.
+    """
+
+    left: Message
+    key: Message
+    right: Message
+
+    def __post_init__(self) -> None:
+        _require_principal_like(self.left, "SharedKey left principal")
+        _require_key_like(self.key, "SharedKey key")
+        _require_principal_like(self.right, "SharedKey right principal")
+
+    def __str__(self) -> str:
+        return f"{self.left} <-{self.key}-> {self.right}"
+
+
+@dataclass(frozen=True)
+class PublicKeyOf(Formula):
+    """``pk(P, K)`` — K is P's public key (BAN89's "→K P").
+
+    The public-key analogue of F6: semantically, P is the only
+    principal *signing* with the private partner K⁻¹ (others may relay
+    copies of signatures), which is what the signature message-meaning
+    axiom needs.
+    """
+
+    principal: Message
+    key: Message
+
+    def __post_init__(self) -> None:
+        _require_principal_like(self.principal, "PublicKeyOf principal")
+        _require_key_like(self.key, "PublicKeyOf key")
+
+    def __str__(self) -> str:
+        return f"pk({self.principal}, {self.key})"
+
+
+@dataclass(frozen=True)
+class Fresh(Formula):
+    """``fresh(X)`` (F7): X is not a submessage of any past message."""
+
+    message: Message
+
+    def __post_init__(self) -> None:
+        _require_message(self.message, "Fresh message")
+
+    def __str__(self) -> str:
+        return f"fresh({self.message})"
+
+
+@dataclass(frozen=True)
+class Has(Formula):
+    """``P has K`` (F8): the key K is in P's key set.
+
+    New in the reformulated logic (Section 3.1): possession of a key is
+    decoupled from beliefs about the key's quality.  Required by A8 to
+    decrypt and by A11 to *know* what one is seeing.
+    """
+
+    principal: Message
+    key: Message
+
+    def __post_init__(self) -> None:
+        _require_principal_like(self.principal, "Has principal")
+        _require_key_like(self.key, "Has key")
+
+    def __str__(self) -> str:
+        return f"{self.principal} has {self.key}"
+
+
+@dataclass(frozen=True)
+class ForAll(Formula):
+    """``∀x. φ`` — universal quantification over constants (Section 8).
+
+    The bound variable is a :class:`Parameter`; the quantifier ranges
+    over all constants of the parameter's sort in the system's
+    vocabulary.  "Since the set of all keys is typically finite in
+    practice, this is equivalent to a finite conjunction of formulas
+    already in our language."
+    """
+
+    variable: Parameter
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.variable, Parameter):
+            raise TermError(f"ForAll variable must be a Parameter, got {self.variable!r}")
+        _require_formula(self.body, "ForAll body")
+
+    def __str__(self) -> str:
+        return f"forall {self.variable.name}:{self.variable.value_sort}. {_wrap(self.body)}"
+
+
+# ---------------------------------------------------------------------------
+# Helper constructors
+# ---------------------------------------------------------------------------
+
+TRUE = Truth()
+FALSE = Not(TRUE)
+
+
+def conj(formulas: Sequence[Formula]) -> Formula:
+    """Right-associated conjunction of a non-empty sequence of formulas."""
+    if not formulas:
+        return TRUE
+    result = formulas[-1]
+    _require_formula(result, "conj operand")
+    for formula in reversed(formulas[:-1]):
+        result = And(formula, result)
+    return result
+
+
+def disj(formulas: Sequence[Formula]) -> Formula:
+    """Right-associated disjunction of a sequence of formulas."""
+    if not formulas:
+        return FALSE
+    result = formulas[-1]
+    _require_formula(result, "disj operand")
+    for formula in reversed(formulas[:-1]):
+        result = Or(formula, result)
+    return result
+
+
+def implies_chain(premises: Iterable[Formula], conclusion: Formula) -> Formula:
+    """Build ``p1 & ... & pn -> conclusion`` (with no premises: conclusion)."""
+    premises = tuple(premises)
+    if not premises:
+        return conclusion
+    return Implies(conj(premises), conclusion)
+
+
+def believes_chain(principals: Sequence[Message], body: Formula) -> Formula:
+    """Build ``P1 believes P2 believes ... Pk believes body``."""
+    result = body
+    for principal in reversed(principals):
+        result = Believes(principal, result)
+    return result
+
+
+def belief_depth(formula: Formula) -> int:
+    """Length of the leading ``believes``-prefix of a formula.
+
+    Section 7 stratifies initial assumptions by their "levels of
+    belief": ``P_i believes ... P_k believes p`` with p belief-free has
+    depth equal to the number of leading believes operators.
+    """
+    depth = 0
+    while isinstance(formula, Believes):
+        depth += 1
+        formula = formula.body
+    return depth
+
+
+def strip_beliefs(formula: Formula) -> tuple[tuple[Message, ...], Formula]:
+    """Split a formula into its believes-prefix and its body."""
+    prefix: list[Message] = []
+    while isinstance(formula, Believes):
+        prefix.append(formula.principal)
+        formula = formula.body
+    return tuple(prefix), formula
+
+
+# ---------------------------------------------------------------------------
+# Printing support
+# ---------------------------------------------------------------------------
+
+_ATOMIC_TYPES: tuple[type, ...] = ()
+
+
+def _is_atomic_for_printing(formula: Message) -> bool:
+    return isinstance(
+        formula,
+        (Prim, Truth, Fresh, Has, SharedKey, SharedSecret, PublicKeyOf),
+    ) or not isinstance(formula, Formula)
+
+
+def _wrap(formula: Formula) -> str:
+    """Parenthesize non-atomic subformulas when printing."""
+    text = str(formula)
+    if _is_atomic_for_printing(formula):
+        return text
+    return f"({text})"
+
+
+def _wrap_msg(message: Message) -> str:
+    """Parenthesize formulas appearing in message position."""
+    if isinstance(message, Formula) and not _is_atomic_for_printing(message):
+        return f"({message})"
+    return str(message)

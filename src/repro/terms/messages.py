@@ -1,0 +1,192 @@
+"""Compound messages of ``M_T`` (conditions M3-M6 of Section 4.1).
+
+* ``(X1, ..., Xk)``   — :class:`Group`, concatenation of messages (M3);
+* ``{X^P}_K``         — :class:`Encrypted`, X encrypted under key K with
+  *from field* P naming the (claimed) sender (M4);
+* ``(X^P)_Y``         — :class:`Combined`, X combined with the secret Y,
+  again with a from field (M5);
+* ``'X'``             — :class:`Forwarded`, X marked as merely forwarded
+  rather than newly constructed (M6, introduced in Section 3.2).
+
+The from field exists "only in implementing an assumption that each
+principal can recognize and ignore its own messages" (Section 2.1); the
+printer renders it only when asked, and well-formedness condition WF4
+(Section 5) requires *system* principals to set it truthfully, while the
+environment may lie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import TermError
+from repro.terms.atoms import Key, Parameter, Principal, Sort
+from repro.terms.base import Message
+
+
+def _require_message(value: object, role: str) -> None:
+    if not isinstance(value, Message):
+        raise TermError(f"{role} must be a Message, got {value!r}")
+
+
+def _require_key_like(value: object, role: str) -> None:
+    """A key position accepts a key constant or a key-sorted parameter."""
+    if isinstance(value, Key):
+        return
+    if isinstance(value, Parameter) and value.value_sort is Sort.KEY:
+        return
+    raise TermError(f"{role} must be a Key or key-sorted Parameter, got {value!r}")
+
+
+def _require_principal_like(value: object, role: str) -> None:
+    """A principal position accepts a principal constant or parameter."""
+    if isinstance(value, Principal):
+        return
+    if isinstance(value, Parameter) and value.value_sort is Sort.PRINCIPAL:
+        return
+    raise TermError(
+        f"{role} must be a Principal or principal-sorted Parameter, got {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class Group(Message):
+    """``(X1, ..., Xk)`` — messages combined by concatenation (M3).
+
+    In the original BAN presentation the comma doubles as conjunction;
+    the reformulated logic separates the two, so a Group is always a
+    *message* and :class:`repro.terms.formulas.And` is the conjunction
+    of formulas.  A Group must have at least two parts: a one-part group
+    would be indistinguishable from its part, and the paper never forms
+    one.
+    """
+
+    parts: tuple[Message, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.parts, tuple):
+            raise TermError("Group parts must be a tuple; use group() to build one")
+        if len(self.parts) < 2:
+            raise TermError(f"Group needs at least 2 parts, got {len(self.parts)}")
+        for part in self.parts:
+            _require_message(part, "Group part")
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(part) for part in self.parts) + ")"
+
+
+def group(*parts: Message) -> Message:
+    """Build ``(X1, ..., Xk)``, collapsing the degenerate one-part case.
+
+    ``group(X)`` is just ``X``: concatenating a single message is the
+    message itself.  This keeps idealization code uniform when a message
+    happens to have one component.
+    """
+    if not parts:
+        raise TermError("group() needs at least one part")
+    if len(parts) == 1:
+        _require_message(parts[0], "group part")
+        return parts[0]
+    return Group(tuple(parts))
+
+
+@dataclass(frozen=True)
+class Encrypted(Message):
+    """``{X^P}_K`` — the message X encrypted under K, from field P (M4).
+
+    ``{X}_K`` in the paper abbreviates ``{X^P}_K`` "where P is a from
+    field denoting the principal (usually clear from context) sending
+    the message".  The from field is how a principal recognizes (and
+    ignores) its own messages; it is *not* authenticated by itself.
+    """
+
+    body: Message
+    key: Message
+    sender: Message
+
+    def __post_init__(self) -> None:
+        _require_message(self.body, "Encrypted body")
+        _require_key_like(self.key, "Encrypted key")
+        _require_principal_like(self.sender, "Encrypted from field")
+
+    def __str__(self) -> str:
+        return f"{{{self.body}}}_{self.key} from {self.sender}"
+
+
+@dataclass(frozen=True)
+class Combined(Message):
+    """``(X^P)_Y`` — X combined with the secret Y, from field P (M5).
+
+    Y is "a secret of some kind whose presence in the message proves the
+    identity of the sender, just as the key used to encrypt a message
+    can" (Section 2.1).  Unlike encryption, combining does not conceal
+    X: anyone can read X (see ``seen_submsgs``), but only holders of the
+    secret are supposed to be able to *produce* the combination.
+    """
+
+    body: Message
+    secret: Message
+    sender: Message
+
+    def __post_init__(self) -> None:
+        _require_message(self.body, "Combined body")
+        _require_message(self.secret, "Combined secret")
+        _require_principal_like(self.sender, "Combined from field")
+
+    def __str__(self) -> str:
+        return f"<{self.body}>_{self.secret} from {self.sender}"
+
+
+@dataclass(frozen=True)
+class Forwarded(Message):
+    """``'X'`` — X marked as forwarded, not newly constructed (M6).
+
+    Section 3.2 introduces this syntax so that a principal relaying a
+    message it cannot vouch for is not "considered to have said" the
+    contents.  Axiom A14 holds a principal that *misuses* the syntax
+    (forwarding something it never saw) accountable for the contents.
+    """
+
+    body: Message
+
+    def __post_init__(self) -> None:
+        _require_message(self.body, "Forwarded body")
+
+    def __str__(self) -> str:
+        return f"'{self.body}'"
+
+
+def encrypted(body: Message, key: Message, sender: Message) -> Encrypted:
+    """Convenience constructor for ``{body^sender}_key``."""
+    return Encrypted(body, key, sender)
+
+
+def combined(body: Message, secret: Message, sender: Message) -> Combined:
+    """Convenience constructor for ``(body^sender)_secret``."""
+    return Combined(body, secret, sender)
+
+
+def forwarded(body: Message) -> Forwarded:
+    """Convenience constructor for ``'body'``."""
+    return Forwarded(body)
+
+
+def group_parts(message: Message) -> tuple[Message, ...]:
+    """Return the concatenation components of a message.
+
+    A :class:`Group` yields its parts; any other message is its own
+    single component.  This is the decomposition used by axioms A7 and
+    A12 ("a principal sees/says every component of a message").
+    """
+    if isinstance(message, Group):
+        return message.parts
+    return (message,)
+
+
+def flatten(messages: Iterable[Message]) -> tuple[Message, ...]:
+    """Flatten one level of grouping across an iterable of messages."""
+    out: list[Message] = []
+    for message in messages:
+        out.extend(group_parts(message))
+    return tuple(out)

@@ -1,0 +1,280 @@
+"""Structural operations on messages and formulas.
+
+This module provides the generic traversal machinery everything else
+builds on: children/rebuild, the ``submsgs`` closure used by the
+freshness semantics (Section 6), parameter substitution (Section 8),
+and the syntactic restriction I1 of Section 7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import TermError
+from repro.terms.atoms import Atom, Key, Nonce, Opaque, Parameter, Principal, Sort
+from repro.terms.base import Message
+from repro.terms.formulas import (
+    And,
+    Believes,
+    Controls,
+    ForAll,
+    Formula,
+    Fresh,
+    Has,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Prim,
+    PublicKeyOf,
+    Said,
+    Says,
+    Sees,
+    SharedKey,
+    SharedSecret,
+    Truth,
+)
+from repro.terms.messages import Combined, Encrypted, Forwarded, Group
+
+
+def children(message: Message) -> tuple[Message, ...]:
+    """Return the immediate structural children of a term, in order.
+
+    Every ``Message``-typed field counts as a child, including
+    encryption keys, secrets, from fields, and principal positions.
+    The freshness closure :func:`submessages` and the parameter
+    machinery both rely on this being exhaustive.
+    """
+    match message:
+        case Atom() | Parameter() | Opaque() | Truth():
+            return ()
+        case Group(parts):
+            return parts
+        case Encrypted(body, key, sender):
+            return (body, key, sender)
+        case Combined(body, secret, sender):
+            return (body, secret, sender)
+        case Forwarded(body):
+            return (body,)
+        case Prim(atom):
+            return (atom,)
+        case Not(body):
+            return (body,)
+        case And(left, right) | Or(left, right) | Iff(left, right):
+            return (left, right)
+        case Implies(antecedent, consequent):
+            return (antecedent, consequent)
+        case Believes(principal, body) | Controls(principal, body):
+            return (principal, body)
+        case Sees(principal, msg) | Said(principal, msg) | Says(principal, msg):
+            return (principal, msg)
+        case SharedSecret(left, secret, right):
+            return (left, secret, right)
+        case SharedKey(left, key, right):
+            return (left, key, right)
+        case Fresh(msg):
+            return (msg,)
+        case Has(principal, key):
+            return (principal, key)
+        case PublicKeyOf(principal, key):
+            return (principal, key)
+        case ForAll(variable, body):
+            return (variable, body)
+        case _:
+            raise TermError(f"unknown term node: {message!r}")
+
+
+def rebuild(message: Message, new_children: tuple[Message, ...]) -> Message:
+    """Reconstruct a term of the same shape with replacement children."""
+    cls = type(message)
+    match message:
+        case Atom() | Parameter() | Opaque() | Truth():
+            if new_children:
+                raise TermError(f"{cls.__name__} takes no children")
+            return message
+        case Group():
+            return Group(tuple(new_children))
+        case _:
+            return cls(*new_children)
+
+
+def transform(message: Message, fn: Callable[[Message], Message | None]) -> Message:
+    """Bottom-up rewrite: apply ``fn`` at every node, child-first.
+
+    ``fn`` returns a replacement node or ``None`` to keep the
+    (child-rewritten) node unchanged.
+    """
+    kids = children(message)
+    new_kids = tuple(transform(kid, fn) for kid in kids)
+    node = message if new_kids == kids else rebuild(message, new_kids)
+    replacement = fn(node)
+    return node if replacement is None else replacement
+
+
+def walk(message: Message) -> Iterator[Message]:
+    """Yield every node of the term, pre-order."""
+    yield message
+    for kid in children(message):
+        yield from walk(kid)
+
+
+def submessages(message: Message) -> frozenset[Message]:
+    """The set of all submessages of a message (Section 6, ``submsgs``).
+
+    The paper defines ``submsgs`` by induction in the full version; we
+    take the uniform closure over *all* structural children.  This is
+    the relation against which ``fresh`` is evaluated: X is fresh at a
+    point iff X is not in ``submsgs`` of any message sent by time 0.
+    The uniform choice validates the lifting axioms A16-A19 (X is a
+    submessage of any tuple, ciphertext, combination, or forwarding
+    containing it) and is observer-independent, as freshness must be.
+    """
+    return frozenset(walk(message))
+
+
+def submessages_of_all(messages: Iterable[Message]) -> frozenset[Message]:
+    """Union of :func:`submessages` over a collection of messages."""
+    out: set[Message] = set()
+    for message in messages:
+        out.update(walk(message))
+    return frozenset(out)
+
+
+def size(message: Message) -> int:
+    """Number of nodes in the term."""
+    return sum(1 for _ in walk(message))
+
+
+def depth(message: Message) -> int:
+    """Height of the term (atoms have depth 1)."""
+    kids = children(message)
+    if not kids:
+        return 1
+    return 1 + max(depth(kid) for kid in kids)
+
+
+# ---------------------------------------------------------------------------
+# Parameters (Section 8)
+# ---------------------------------------------------------------------------
+
+
+def free_parameters(message: Message) -> frozenset[Parameter]:
+    """Parameters occurring free in the term (ForAll binds its variable)."""
+    if isinstance(message, Parameter):
+        return frozenset({message})
+    if isinstance(message, ForAll):
+        return free_parameters(message.body) - {message.variable}
+    out: set[Parameter] = set()
+    for kid in children(message):
+        out.update(free_parameters(kid))
+    return frozenset(out)
+
+
+def is_ground(message: Message) -> bool:
+    """True iff the term contains no free parameters."""
+    return not free_parameters(message)
+
+
+def substitute(message: Message, assignment: Mapping[Parameter, Message]) -> Message:
+    """Replace free parameters by their assigned values.
+
+    Values must match the parameter's sort (a key-sorted parameter can
+    only be replaced by a ``Key`` or another key-sorted parameter, and
+    so on); this preserves well-formedness of the surrounding term.
+    Bound variables of ``ForAll`` are respected.
+    """
+    for parameter, value in assignment.items():
+        _check_sort(parameter, value)
+
+    def apply(node: Message, bound: frozenset[Parameter]) -> Message:
+        if isinstance(node, Parameter):
+            if node in bound or node not in assignment:
+                return node
+            return assignment[node]
+        if isinstance(node, ForAll):
+            inner_bound = bound | {node.variable}
+            new_body = apply(node.body, inner_bound)
+            if new_body is node.body:
+                return node
+            return ForAll(node.variable, new_body)  # type: ignore[arg-type]
+        kids = children(node)
+        new_kids = tuple(apply(kid, bound) for kid in kids)
+        if new_kids == kids:
+            return node
+        return rebuild(node, new_kids)
+
+    return apply(message, frozenset())
+
+
+def _check_sort(parameter: Parameter, value: Message) -> None:
+    expected = parameter.value_sort
+    if isinstance(value, Parameter):
+        actual = value.value_sort
+    elif isinstance(value, Principal):
+        actual = Sort.PRINCIPAL
+    elif isinstance(value, Key):
+        actual = Sort.KEY
+    elif isinstance(value, Nonce):
+        actual = Sort.NONCE
+    else:
+        raise TermError(
+            f"parameter {parameter.name} cannot take non-constant value {value!r}"
+        )
+    if actual is not expected:
+        raise TermError(
+            f"parameter {parameter.name} has sort {expected}, got {actual} value {value}"
+        )
+
+
+def constants_of_sort(message: Message, sort: Sort) -> frozenset[Atom]:
+    """All constants of a given sort occurring anywhere in the term."""
+    wanted: type
+    if sort is Sort.PRINCIPAL:
+        wanted = Principal
+    elif sort is Sort.KEY:
+        wanted = Key
+    elif sort is Sort.NONCE:
+        wanted = Nonce
+    else:
+        raise TermError(f"unsupported constant sort for collection: {sort}")
+    return frozenset(node for node in walk(message) if isinstance(node, wanted))
+
+
+# ---------------------------------------------------------------------------
+# Restriction I1 (Section 7) and annotation-language stability heuristics
+# ---------------------------------------------------------------------------
+
+_NEGATIVE_CONTEXTS = (Not, Or, Implies, Iff)
+
+
+def has_belief_under_negation(formula: Formula) -> bool:
+    """Check restriction I1: no ``believes`` within the scope of negation.
+
+    Because ``|``, ``->`` and ``<->`` are *defined* in terms of negation
+    (Section 4.1), a belief occurring anywhere inside those connectives
+    also counts as being within the scope of a negation symbol; we check
+    the conservative reading.
+    """
+
+    def contains_belief(node: Message) -> bool:
+        return any(isinstance(sub, Believes) for sub in walk(node))
+
+    def scan(node: Message) -> bool:
+        if isinstance(node, _NEGATIVE_CONTEXTS):
+            if contains_belief(node):
+                return True
+            return False
+        return any(scan(kid) for kid in children(node))
+
+    return scan(formula)
+
+
+def is_negation_free(formula: Formula) -> bool:
+    """True iff the formula uses no negation-derived connective at all.
+
+    This is the simple linguistic restriction Section 4.3 suggests for
+    annotation formulas ("avoiding the use of the belief operator in the
+    scope of negation usually suffices"); negation-free formulas built
+    from the authentication constructs are stable along protocol runs.
+    """
+    return not any(isinstance(node, _NEGATIVE_CONTEXTS) for node in walk(formula))

@@ -1,0 +1,419 @@
+"""A recursive-descent parser for the surface syntax of ``M_T``/``F_T``.
+
+The surface syntax mirrors the printed (``str``) form of terms, so
+``parse_formula(str(f), vocab) == f`` for every formula over declared
+constants — a property the test suite checks exhaustively with
+hypothesis.
+
+Grammar sketch (formulas)::
+
+    formula  := iff
+    iff      := imp ('<->' imp)*
+    imp      := or ('->' imp)?                 # right-associative
+    or       := and ('|' and)*
+    and      := unary ('&' unary)*
+    unary    := '~' unary | quantified | primary
+    quantified := 'forall' NAME ':' SORT '.' unary
+    primary  := 'true' | 'fresh' '(' message ')' | '(' formula ')'
+              | term ( 'believes' unary | 'controls' unary
+                     | 'sees' message | 'said' message | 'says' message
+                     | 'has' term
+                     | '<-' term '->' term [ '(' 'secret' ')' ] )?
+
+and (messages)::
+
+    message  := formula-looking input parsed as a formula, or:
+    term     := NAME | '?' NAME
+              | '(' message (',' message)* ')'
+              | '{' message '}' '_' term 'from' term
+              | '<' message '>' '_' term 'from' term
+              | "'" message "'"
+
+Identifiers resolve through a :class:`~repro.terms.vocabulary.Vocabulary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+from repro.terms.atoms import Key, Parameter, PrimitiveProposition, Sort
+from repro.terms.base import Message
+from repro.terms.formulas import (
+    TRUE,
+    And,
+    Believes,
+    Controls,
+    ForAll,
+    Formula,
+    Fresh,
+    Has,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Prim,
+    PublicKeyOf,
+    Said,
+    Says,
+    Sees,
+    SharedKey,
+    SharedSecret,
+)
+from repro.terms.messages import Combined, Encrypted, Forwarded, Group
+from repro.terms.vocabulary import Vocabulary
+
+_SYMBOLS = ("<->", "->", "<-", "(", ")", "{", "}", ",", "~", "&", "|", "_",
+            "'", ".", ":", "?", "<", ">")
+
+_SORT_NAMES = {
+    "principal": Sort.PRINCIPAL,
+    "key": Sort.KEY,
+    "nonce": Sort.NONCE,
+    "proposition": Sort.PROPOSITION,
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "symbol", "name", or "end"
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        matched = False
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                yield _Token("symbol", symbol, i)
+                i += len(symbol)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch.isalpha():
+            j = i
+            while j < n and text[j].isalnum():
+                j += 1
+            yield _Token("name", text[i:j], i)
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r} at {i}", text, i)
+    yield _Token("end", "", n)
+
+
+class _Parser:
+    """Single-use parser over a token stream."""
+
+    def __init__(self, text: str, vocabulary: Vocabulary) -> None:
+        self.text = text
+        self.vocabulary = vocabulary
+        self.tokens = list(_tokenize(text))
+        self.index = 0
+        self.bound: list[Parameter] = []
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> _Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.peek()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r} but found {token.text or 'end of input'!r}"
+                f" at {token.position}",
+                self.text,
+                token.position,
+            )
+        return self.advance()
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text
+
+    def at_name(self, text: str) -> bool:
+        token = self.peek()
+        return token.kind == "name" and token.text == text
+
+    def fail(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(f"{message} at {token.position}", self.text, token.position)
+
+    # -- formulas ----------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        return self._iff()
+
+    def _iff(self) -> Formula:
+        left = self._imp()
+        while self.at("<->"):
+            self.advance()
+            right = self._imp()
+            left = Iff(left, right)
+        return left
+
+    def _imp(self) -> Formula:
+        left = self._or()
+        if self.at("->"):
+            self.advance()
+            right = self._imp()
+            return Implies(left, right)
+        return left
+
+    def _or(self) -> Formula:
+        left = self._and()
+        while self.at("|"):
+            self.advance()
+            left = Or(left, self._and())
+        return left
+
+    def _and(self) -> Formula:
+        left = self._unary()
+        while self.at("&"):
+            self.advance()
+            left = And(left, self._unary())
+        return left
+
+    def _unary(self) -> Formula:
+        if self.at("~"):
+            self.advance()
+            return Not(self._unary())
+        if self.at_name("forall"):
+            return self._forall()
+        return self._primary_formula()
+
+    def _forall(self) -> Formula:
+        self.advance()  # forall
+        name_token = self.advance()
+        if name_token.kind != "name":
+            raise self.fail("expected a variable name after 'forall'")
+        self.expect(":")
+        sort_token = self.advance()
+        sort = _SORT_NAMES.get(sort_token.text)
+        if sort is None:
+            raise self.fail(f"unknown sort {sort_token.text!r}")
+        self.expect(".")
+        variable = Parameter(name_token.text, sort)
+        self.bound.append(variable)
+        try:
+            body = self._unary()
+        finally:
+            self.bound.pop()
+        return ForAll(variable, body)
+
+    def _primary_formula(self) -> Formula:
+        if self.at_name("true"):
+            self.advance()
+            return TRUE
+        if self.at_name("fresh"):
+            self.advance()
+            self.expect("(")
+            message = self.parse_message()
+            self.expect(")")
+            return Fresh(message)
+        if self.at_name("pk"):
+            self.advance()
+            self.expect("(")
+            principal = self._term()
+            self.expect(",")
+            key = self._term()
+            self.expect(")")
+            return PublicKeyOf(principal, key)
+        if self.at("("):
+            # Could be a parenthesized formula, possibly followed by a
+            # formula postfix if it denotes a principal-valued term; but a
+            # parenthesized *formula* is the only case at formula level.
+            saved = self.index
+            self.advance()
+            formula = self.parse_formula()
+            self.expect(")")
+            return formula
+        term = self._term()
+        return self._formula_postfix(term)
+
+    def _formula_postfix(self, term: Message) -> Formula:
+        token = self.peek()
+        if token.kind == "name":
+            if token.text == "believes":
+                self.advance()
+                return Believes(term, self._unary())
+            if token.text == "controls":
+                self.advance()
+                return Controls(term, self._unary())
+            if token.text == "sees":
+                self.advance()
+                return Sees(term, self.parse_message())
+            if token.text == "said":
+                self.advance()
+                return Said(term, self.parse_message())
+            if token.text == "says":
+                self.advance()
+                return Says(term, self.parse_message())
+            if token.text == "has":
+                self.advance()
+                return Has(term, self._term())
+        if self.at("<-"):
+            self.advance()
+            middle = self._term()
+            self.expect("->")
+            right = self._term()
+            if self._try_secret_marker():
+                return SharedSecret(term, middle, right)
+            if self._is_key_like(middle):
+                return SharedKey(term, middle, right)
+            return SharedSecret(term, middle, right)
+        if isinstance(term, PrimitiveProposition):
+            return Prim(term)
+        if isinstance(term, Formula):
+            return term
+        raise self.fail(f"term {term} is not a formula")
+
+    def _try_secret_marker(self) -> bool:
+        if (
+            self.at("(")
+            and self.peek(1).kind == "name"
+            and self.peek(1).text == "secret"
+            and self.peek(2).text == ")"
+        ):
+            self.advance()
+            self.advance()
+            self.advance()
+            return True
+        return False
+
+    @staticmethod
+    def _is_key_like(term: Message) -> bool:
+        if isinstance(term, Key):
+            return True
+        return isinstance(term, Parameter) and term.value_sort is Sort.KEY
+
+    # -- messages ----------------------------------------------------------
+
+    def parse_message(self) -> Message:
+        """Parse a message; formulas are messages, so try formula syntax."""
+        saved = self.index
+        try:
+            return self.parse_formula()
+        except ParseError:
+            self.index = saved
+        return self._term()
+
+    def _term(self) -> Message:
+        token = self.peek()
+        if token.text == "(":
+            return self._group_or_paren()
+        if token.text == "{":
+            return self._encrypted()
+        if token.text == "<":
+            return self._combined()
+        if token.text == "'":
+            self.advance()
+            body = self.parse_message()
+            self.expect("'")
+            return Forwarded(body)
+        if token.kind == "name" and token.text == "inv":
+            self.advance()
+            self.expect("(")
+            inner = self._term()
+            self.expect(")")
+            from repro.terms.atoms import PrivateKey, PublicKey
+
+            if isinstance(inner, PublicKey):
+                return inner.partner
+            if isinstance(inner, PrivateKey):
+                return inner.partner
+            raise self.fail(f"inv(...) needs a key-pair half, got {inner}")
+        if token.text == "?":
+            self.advance()
+            name_token = self.advance()
+            if name_token.kind != "name":
+                raise self.fail("expected a parameter name after '?'")
+            for bound in reversed(self.bound):
+                if bound.name == name_token.text:
+                    return bound
+            symbol = self.vocabulary.lookup(name_token.text)
+            if not isinstance(symbol, Parameter):
+                raise self.fail(f"{name_token.text!r} is not a parameter")
+            return symbol
+        if token.kind == "name":
+            self.advance()
+            return self.vocabulary.lookup(token.text)
+        raise self.fail(f"expected a term, found {token.text or 'end of input'!r}")
+
+    def _group_or_paren(self) -> Message:
+        self.expect("(")
+        first = self.parse_message()
+        parts = [first]
+        while self.at(","):
+            self.advance()
+            parts.append(self.parse_message())
+        self.expect(")")
+        if len(parts) == 1:
+            return parts[0]
+        return Group(tuple(parts))
+
+    def _encrypted(self) -> Message:
+        self.expect("{")
+        body = self.parse_message()
+        self.expect("}")
+        self.expect("_")
+        key = self._term()
+        if not self.at_name("from"):
+            raise self.fail("encrypted message requires a 'from' field")
+        self.advance()
+        sender = self._term()
+        return Encrypted(body, key, sender)
+
+    def _combined(self) -> Message:
+        self.expect("<")
+        body = self.parse_message()
+        self.expect(">")
+        self.expect("_")
+        secret = self._term()
+        if not self.at_name("from"):
+            raise self.fail("combined message requires a 'from' field")
+        self.advance()
+        sender = self._term()
+        return Combined(body, secret, sender)
+
+    # -- entry points ------------------------------------------------------
+
+    def finish(self, value: Message) -> Message:
+        token = self.peek()
+        if token.kind != "end":
+            raise ParseError(
+                f"unexpected trailing input {token.text!r} at {token.position}",
+                self.text,
+                token.position,
+            )
+        return value
+
+
+def parse_formula(text: str, vocabulary: Vocabulary) -> Formula:
+    """Parse a formula of ``F_T`` over the given vocabulary."""
+    parser = _Parser(text, vocabulary)
+    formula = parser.parse_formula()
+    parser.finish(formula)
+    return formula
+
+
+def parse_message(text: str, vocabulary: Vocabulary) -> Message:
+    """Parse a message of ``M_T`` over the given vocabulary."""
+    parser = _Parser(text, vocabulary)
+    message = parser.parse_message()
+    parser.finish(message)
+    return message

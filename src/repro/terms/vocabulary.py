@@ -1,0 +1,183 @@
+"""Vocabularies: the declared constant symbols of a protocol or system.
+
+The language of Section 4.1 is built over a set ``T`` of primitive
+terms partitioned into primitive propositions, principals, shared keys,
+and other constants (nonces, timestamps, ...).  A :class:`Vocabulary`
+records one such partition.  The parser resolves identifiers through a
+vocabulary; universal quantification (Section 8) ranges over the
+vocabulary's constants of the bound sort; and the soundness harness
+synthesizes formula pools from a system's vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import VocabularyError
+from repro.terms.atoms import (
+    Atom,
+    Key,
+    Nonce,
+    Parameter,
+    PrimitiveProposition,
+    Principal,
+    PrivateKey,
+    PublicKey,
+    Sort,
+)
+
+_KEYWORDS = frozenset(
+    {
+        "believes",
+        "controls",
+        "sees",
+        "said",
+        "says",
+        "has",
+        "fresh",
+        "from",
+        "forall",
+        "true",
+        "secret",
+        "newkey",
+        "pk",
+        "inv",
+    }
+)
+
+
+def _check_declarable(name: str) -> None:
+    if name in _KEYWORDS:
+        raise VocabularyError(f"{name!r} is a reserved keyword")
+    if not name or not name[0].isalpha() or not name.isalnum():
+        raise VocabularyError(
+            f"declared names must be alphanumeric and start with a letter: {name!r}"
+        )
+
+
+@dataclass
+class Vocabulary:
+    """A mutable registry of the constant symbols in scope.
+
+    Names are unique across all sorts, so an identifier resolves
+    unambiguously.  Parameters (Section 8) live in the same namespace
+    but are referenced as ``?name`` in the surface syntax.
+    """
+
+    _symbols: dict[str, Atom | Parameter] = field(default_factory=dict)
+
+    # -- declaration -------------------------------------------------------
+
+    def _declare(self, symbol: Atom | Parameter) -> None:
+        _check_declarable(symbol.name)
+        existing = self._symbols.get(symbol.name)
+        if existing is not None and existing != symbol:
+            raise VocabularyError(
+                f"{symbol.name!r} already declared as {existing!r}"
+            )
+        self._symbols[symbol.name] = symbol
+
+    def principal(self, name: str) -> Principal:
+        """Declare (or re-fetch) a principal constant."""
+        symbol = Principal(name)
+        self._declare(symbol)
+        return symbol
+
+    def principals(self, *names: str) -> tuple[Principal, ...]:
+        return tuple(self.principal(name) for name in names)
+
+    def key(self, name: str) -> Key:
+        """Declare (or re-fetch) a shared-key constant."""
+        symbol = Key(name)
+        self._declare(symbol)
+        return symbol
+
+    def keys(self, *names: str) -> tuple[Key, ...]:
+        return tuple(self.key(name) for name in names)
+
+    def keypair(self, name: str) -> tuple[PublicKey, PrivateKey]:
+        """Declare a public/private key pair sharing one name.
+
+        Only the public half enters the symbol table (the parser
+        resolves the name to it); the private half is reachable as its
+        ``partner``.
+        """
+        public = PublicKey(name)
+        self._declare(public)
+        return public, public.partner
+
+    def nonce(self, name: str) -> Nonce:
+        """Declare (or re-fetch) a nonce/timestamp/data constant."""
+        symbol = Nonce(name)
+        self._declare(symbol)
+        return symbol
+
+    def nonces(self, *names: str) -> tuple[Nonce, ...]:
+        return tuple(self.nonce(name) for name in names)
+
+    def proposition(self, name: str) -> PrimitiveProposition:
+        """Declare (or re-fetch) a primitive proposition."""
+        symbol = PrimitiveProposition(name)
+        self._declare(symbol)
+        return symbol
+
+    def parameter(self, name: str, sort: Sort) -> Parameter:
+        """Declare (or re-fetch) a run-valued parameter (Section 8)."""
+        symbol = Parameter(name, sort)
+        self._declare(symbol)
+        return symbol
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, name: str) -> Atom | Parameter:
+        """Resolve an identifier, raising :class:`VocabularyError` if unknown."""
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise VocabularyError(f"undeclared identifier: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __iter__(self) -> Iterator[Atom | Parameter]:
+        return iter(self._symbols.values())
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def constants(self, sort: Sort) -> tuple[Atom, ...]:
+        """All declared constants of the given sort (excludes parameters)."""
+        wanted: type
+        if sort is Sort.PRINCIPAL:
+            wanted = Principal
+        elif sort is Sort.KEY:
+            wanted = Key
+        elif sort is Sort.NONCE:
+            wanted = Nonce
+        elif sort is Sort.PROPOSITION:
+            wanted = PrimitiveProposition
+        else:  # pragma: no cover - exhaustive over Sort
+            raise VocabularyError(f"unknown sort {sort!r}")
+        return tuple(
+            symbol
+            for symbol in self._symbols.values()
+            if isinstance(symbol, wanted) and not isinstance(symbol, Parameter)
+        )
+
+    def merge(self, other: "Vocabulary") -> "Vocabulary":
+        """Return a new vocabulary containing both symbol tables."""
+        merged = Vocabulary()
+        for symbol in self:
+            merged._declare(symbol)
+        for symbol in other:
+            merged._declare(symbol)
+        return merged
+
+    @classmethod
+    def of(cls, symbols: Iterable[Atom | Parameter]) -> "Vocabulary":
+        """Build a vocabulary from an iterable of already-made symbols."""
+        vocabulary = cls()
+        for symbol in symbols:
+            vocabulary._declare(symbol)
+        return vocabulary

@@ -1,0 +1,156 @@
+"""Tests for the original BAN logic's rules (Section 2.2) and quirks."""
+
+from repro.analysis import make_engine
+from repro.logic import Engine, Fact, MessagePool
+from repro.banlogic import ban_rules
+from repro.terms import (
+    Believes,
+    Controls,
+    Fresh,
+    Group,
+    Key,
+    Nonce,
+    Prim,
+    PrimitiveProposition,
+    Principal,
+    Said,
+    Sees,
+    SharedKey,
+    SharedSecret,
+    combined,
+    encrypted,
+    group,
+)
+
+A = Principal("A")
+B = Principal("B")
+S = Principal("S")
+K = Key("K")
+N = Nonce("N")
+M = Nonce("M")
+GOOD = SharedKey(A, K, B)
+
+
+def close(formulas, seeds=()):
+    engine = Engine(ban_rules())
+    pool = MessagePool(tuple(seeds) + tuple(formulas))
+    return engine.close(formulas, pool)
+
+
+class TestMessageMeaning:
+    def test_shared_key_rule(self):
+        cipher = encrypted(N, K, S)
+        derivation = close([Believes(A, SharedKey(A, K, S)), Sees(A, cipher)])
+        assert derivation.holds(Believes(A, Said(S, N)))
+
+    def test_own_message_ignored(self):
+        """Side condition P ≠ R: a principal recognizes and ignores its
+        own messages."""
+        cipher = encrypted(N, K, A)  # from field names A itself
+        derivation = close([Believes(A, SharedKey(A, K, S)), Sees(A, cipher)])
+        assert not derivation.holds(Believes(A, Said(S, N)))
+
+    def test_shared_secret_rule(self):
+        combo = combined(N, M, S)
+        derivation = close(
+            [Believes(A, SharedSecret(A, M, S)), Sees(A, combo)]
+        )
+        assert derivation.holds(Believes(A, Said(S, N)))
+
+    def test_no_has_premise_needed(self):
+        """Section 3.1's critique made concrete: 'believing' the key is
+        good implicitly grants the ability to use it — the BAN rule
+        fires with no possession fact anywhere."""
+        cipher = encrypted(N, K, S)
+        derivation = close([Believes(A, SharedKey(A, K, S)), Sees(A, cipher)])
+        assert derivation.holds(Sees(A, N))  # decrypted via belief alone
+
+
+class TestNonceVerification:
+    def test_promotes_said_to_believes(self):
+        derivation = close(
+            [Believes(A, Fresh(N)), Believes(A, Said(S, group(N, GOOD)))],
+            seeds=[group(N, GOOD)],
+        )
+        assert derivation.holds(Believes(A, Believes(S, GOOD)))
+
+    def test_nonce_belief_conclusion_dropped(self):
+        """'It is possible to prove that a principal believes a nonce,
+        which doesn't make much sense' (Section 3.3) — our two-sorted
+        syntax cannot even express the conclusion, so it is dropped."""
+        derivation = close(
+            [Believes(A, Fresh(N)), Believes(A, Said(S, group(N, GOOD)))],
+            seeds=[group(N, GOOD)],
+        )
+        believed_by_s = [
+            fact for fact in derivation.index if fact.prefix == (A, S)
+        ]
+        assert Fact((A, S), GOOD) in believed_by_s
+        # No fact corresponds to "A believes S believes N".
+        assert all(fact.body != N for fact in believed_by_s)
+
+    def test_requires_freshness(self):
+        derivation = close([Believes(A, Said(S, GOOD))])
+        assert not derivation.holds(Believes(A, Believes(S, GOOD)))
+
+    def test_honesty_is_implicit(self):
+        """The rule concludes S *believes* the content from S having
+        *said* it — that is the honesty assumption at work."""
+        derivation = close(
+            [Believes(A, Fresh(GOOD)), Believes(A, Said(S, GOOD))]
+        )
+        assert derivation.holds(Believes(A, Believes(S, GOOD)))
+
+
+class TestJurisdiction:
+    def test_jurisdiction(self):
+        derivation = close(
+            [Believes(A, Controls(S, GOOD)), Believes(A, Believes(S, GOOD))]
+        )
+        assert derivation.holds(Believes(A, GOOD))
+
+    def test_jurisdiction_with_nested_belief_body(self):
+        inner = Believes(B, GOOD)
+        derivation = close(
+            [Believes(A, Controls(S, inner)), Believes(A, Believes(S, inner))]
+        )
+        assert derivation.holds(Believes(A, inner))
+
+
+class TestStructuralRules:
+    def test_saying_rule(self):
+        derivation = close([Believes(A, Said(S, group(N, M)))])
+        assert derivation.holds(Believes(A, Said(S, N)))
+
+    def test_seeing_rules(self):
+        derivation = close([Sees(A, group(N, combined(M, N, S)))])
+        assert derivation.holds(Sees(A, N))
+        assert derivation.holds(Sees(A, M))
+
+    def test_freshness_rule_tuples_only(self):
+        cipher = encrypted(N, K, S)
+        derivation = close(
+            [Believes(A, Fresh(N))], seeds=[group(N, M), cipher]
+        )
+        assert derivation.holds(Believes(A, Fresh(group(N, M))))
+        # The original rule set lifts only to tuples:
+        assert not derivation.holds(Believes(A, Fresh(cipher)))
+
+    def test_symmetry_rules_nested(self):
+        derivation = close([Believes(A, Believes(S, GOOD))])
+        assert derivation.holds(Believes(A, Believes(S, SharedKey(B, K, A))))
+
+    def test_secret_symmetry(self):
+        secret = SharedSecret(A, M, B)
+        derivation = close([Believes(A, secret)])
+        assert derivation.holds(Believes(A, SharedSecret(B, M, A)))
+
+
+class TestEngineFactory:
+    def test_make_engine_ban(self):
+        engine = make_engine("ban")
+        assert any("BAN" in rule.name for rule in engine.rules)
+
+    def test_make_engine_at(self):
+        engine = make_engine("at")
+        assert any(rule.name == "A15" for rule in engine.rules)

@@ -1,0 +1,57 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_corpus(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "kerberos" in out and "needham-schroeder" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "kerberos", "--logic", "ban"]) == 0
+        out = capsys.readouterr().out
+        assert "A-key: derived" in out
+
+    def test_analyze_with_explain(self, capsys):
+        assert main(["analyze", "kerberos", "--explain", "B-key"]) == 0
+        out = capsys.readouterr().out
+        assert "A15" in out
+
+    def test_analyze_unknown_protocol(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "nonexistent"])
+
+    def test_unknown_protocol_via_direct_dispatch(self, capsys):
+        import argparse
+
+        from repro.__main__ import _cmd_analyze
+
+        args = argparse.Namespace(name="zz", logic="at", explain=None)
+        assert _cmd_analyze(args) == 2
+
+    def test_cointoss(self, capsys):
+        assert main(["cointoss"]) == 0
+        out = capsys.readouterr().out
+        assert "optimum exists: False" in out
+        assert "optimum exists: True" in out
+
+    def test_sweep_small(self, capsys):
+        assert main(["sweep", "--systems", "1", "--instances", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out and "0 violations" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_analyze_with_certify(self, capsys):
+        assert main(["analyze", "kerberos", "--certify", "B-key"]) == 0
+        out = capsys.readouterr().out
+        assert "certified B-key" in out and "Hilbert" in out
+
+    def test_certify_unknown_goal(self, capsys):
+        assert main(["analyze", "kerberos", "--certify", "nope"]) == 2

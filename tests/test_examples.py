@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs and prints its headline."""
+
+import io
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "reformulated Abadi-Tuttle logic"),
+    ("kerberos_figure1.py", "audit consistent: True"),
+    ("needham_schroeder_flaw.py", "Concrete replay attack"),
+    ("coin_toss_belief.py", "NO optimum exists"),
+    ("x509_signatures.py", "Certifying the repaired attribution"),
+]
+
+
+@pytest.mark.parametrize("script, marker", CASES,
+                         ids=[case[0] for case in CASES])
+def test_example_runs(script, marker, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert marker in out
+    assert "UNEXPECTED" not in out
+
+
+def test_soundness_sweep_example(monkeypatch, capsys):
+    """The sweep example, scaled down for test time."""
+    monkeypatch.setattr(sys, "argv", ["soundness_sweep.py", "1"])
+    runpy.run_path(str(EXAMPLES / "soundness_sweep.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Theorem 1 reproduced" in out
+    assert "essential violations = 0" in out

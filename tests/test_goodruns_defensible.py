@@ -1,0 +1,98 @@
+"""Tests relating belief to Shoham-Moses defensible knowledge (Section 7)."""
+
+from repro.goodruns import (
+    alpha_from_assumptions,
+    build_corrected_cointoss_example,
+    construct_good_runs,
+    knowledge_evaluator,
+    knows,
+    sm_believes,
+    sm_believes_guarded,
+)
+from repro.goodruns.assumptions import InitialAssumptions
+from repro.semantics import Evaluator
+from repro.terms import Believes, Not
+
+
+class TestKnowledge:
+    def test_knowledge_is_truthful(self):
+        """K_i φ ⊃ φ at the evaluation point (the point is possible)."""
+        example = build_corrected_cointoss_example()
+        ev = knowledge_evaluator(example.system)
+        tails_run = example.system.run("run-tails")
+        assert knows(ev, example.p2, example.tails, tails_run, 0)
+        assert not knows(ev, example.p1, example.tails, tails_run, 0)
+
+    def test_p2_knows_its_own_coin(self):
+        example = build_corrected_cointoss_example()
+        ev = knowledge_evaluator(example.system)
+        heads_run = example.system.run("run-heads")
+        assert knows(ev, example.p2, example.heads, heads_run, 0)
+
+
+class TestShohamMosesEquivalence:
+    """For depth-1 assumptions, construction belief == B_i(φ, α) with
+    α = 'my initial assumptions hold at time 0'."""
+
+    def depth1_example(self):
+        example = build_corrected_cointoss_example()
+        assumptions = InitialAssumptions.of(
+            {
+                example.p1: [Believes(example.p1, example.tails)],
+                example.p3: [Believes(example.p3, example.tails)],
+            }
+        )
+        return example, assumptions
+
+    def test_equivalence_on_depth1(self):
+        example, assumptions = self.depth1_example()
+        system = example.system
+        result = construct_good_runs(system, assumptions)
+        construction_ev = Evaluator(system, result.vector)
+        knowledge_ev = knowledge_evaluator(system)
+        alpha = alpha_from_assumptions(system, assumptions, example.p1)
+
+        for run in system.runs:
+            for k in run.times:
+                ours = construction_ev.evaluate(
+                    Believes(example.p1, example.tails), run, k
+                )
+                theirs = sm_believes(
+                    knowledge_ev, example.p1, example.tails, alpha, run, k
+                )
+                assert ours == theirs
+
+    def test_strange_property_of_plain_sm(self):
+        """K_i ¬α ⊃ B_i(φ, α): an agent that knows its assumptions are
+        violated believes everything — 'which is rather strange'."""
+        example, _ = self.depth1_example()
+        system = example.system
+        knowledge_ev = knowledge_evaluator(system)
+        heads_run = system.run("run-heads")
+
+        def alpha(run):
+            return False  # assumptions known-violated everywhere
+
+        absurd = example.heads
+        assert sm_believes(knowledge_ev, example.p2, absurd, alpha,
+                           system.run("run-tails"), 0)
+
+    def test_guarded_version_fixes_it(self):
+        """The refined definition believes φ only if it *knows* φ when
+        the assumptions are known-violated."""
+        example, _ = self.depth1_example()
+        system = example.system
+        knowledge_ev = knowledge_evaluator(system)
+        tails_run = system.run("run-tails")
+
+        def alpha(run):
+            return False
+
+        # P2 knows tails in the tails run, so the guarded belief keeps it:
+        assert sm_believes_guarded(
+            knowledge_ev, example.p2, example.tails, alpha, tails_run, 0
+        )
+        # ...but drops the absurd belief the plain version grants:
+        assert not sm_believes_guarded(
+            knowledge_ev, example.p2, example.heads, alpha, tails_run, 0
+        )

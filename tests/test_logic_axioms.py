@@ -1,0 +1,173 @@
+"""Tests for the axiom schemas A1-A21 (Section 4.2)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ProofError
+from repro.logic import AXIOMS, InstancePool, extra_schemas, paper_schemas, schema
+from repro.logic.axioms import (
+    a1,
+    a5,
+    a6,
+    a7,
+    a8,
+    a11,
+    a14,
+    a15,
+    a16,
+    a20,
+    a21,
+)
+from repro.terms import (
+    And,
+    Believes,
+    Encrypted,
+    Formula,
+    Forwarded,
+    Fresh,
+    Group,
+    Has,
+    Implies,
+    Key,
+    Nonce,
+    Not,
+    Prim,
+    PrimitiveProposition,
+    Principal,
+    Said,
+    Says,
+    Sees,
+    SharedKey,
+)
+
+A = Principal("A")
+B = Principal("B")
+S = Principal("S")
+K = Key("K")
+N = Nonce("N")
+M = Nonce("M")
+P = Prim(PrimitiveProposition("p"))
+Q = Prim(PrimitiveProposition("q"))
+
+
+class TestBuilders:
+    def test_a1_shape(self):
+        formula = a1(A, P, Q)
+        assert formula == Implies(
+            And(Believes(A, P), Believes(A, Implies(P, Q))), Believes(A, Q)
+        )
+
+    def test_a5_shape_and_side_condition(self):
+        formula = a5(A, K, B, S, N, B)
+        assert isinstance(formula, Implies)
+        assert formula.consequent == Said(B, N)
+        with pytest.raises(ProofError):
+            a5(A, K, B, S, N, A)  # P == S violates the side condition
+
+    def test_a6_side_condition(self):
+        with pytest.raises(ProofError):
+            a6(A, M, B, S, N, A)
+
+    def test_a7_indexes_group(self):
+        formula = a7(A, (N, M), 1)
+        assert formula == Implies(Sees(A, Group((N, M))), Sees(A, M))
+
+    def test_a8_shape(self):
+        formula = a8(A, N, B, K)
+        assert formula == Implies(
+            And(Sees(A, Encrypted(N, K, B)), Has(A, K)), Sees(A, N)
+        )
+
+    def test_a11_concludes_belief(self):
+        formula = a11(A, N, B, K)
+        assert formula.consequent == Believes(A, Sees(A, Encrypted(N, K, B)))
+
+    def test_a14_negative_premise(self):
+        formula = a14(A, N)
+        assert formula == Implies(
+            And(Said(A, Forwarded(N)), Not(Sees(A, N))), Said(A, N)
+        )
+
+    def test_a15_shape(self):
+        formula = a15(S, P)
+        assert formula.consequent == P
+
+    def test_a16_lifts_component_freshness(self):
+        formula = a16((N, M), 0)
+        assert formula == Implies(Fresh(N), Fresh(Group((N, M))))
+
+    def test_a20_shape(self):
+        formula = a20(A, N)
+        assert formula == Implies(And(Fresh(N), Said(A, N)), Says(A, N))
+
+    def test_a21_symmetry(self):
+        formula = a21(A, K, B)
+        assert formula == Implies(SharedKey(A, K, B), SharedKey(B, K, A))
+
+
+class TestRegistry:
+    def test_all_paper_axioms_present(self):
+        names = set(AXIOMS)
+        expected = {
+            "A1", "A2", "A3", "A4", "A5", "A5p", "A6", "A7", "A8", "A9",
+            "A10", "A11", "A12", "A12s", "A13", "A13s", "A14", "A14s",
+            "A15", "A16", "A17", "A18", "A19", "A20", "A21", "A21s",
+            "S1", "S2", "S3", "Q1",
+        }
+        assert names == expected
+
+    def test_paper_schemas_exclude_derived_and_extra(self):
+        names = {s.name for s in paper_schemas()}
+        assert "A4" not in names and "S1" not in names and "S2" not in names
+        assert "A5" in names
+
+    def test_extra_schemas(self):
+        assert {s.name for s in extra_schemas()} == {"S1", "S2", "S3", "A5p", "Q1"}
+
+    def test_unknown_schema_raises(self):
+        with pytest.raises(ProofError):
+            schema("A99")
+
+
+class TestEnumerators:
+    def make_pool(self):
+        from repro.terms import Combined
+
+        from repro.terms import PrivateKey
+
+        cipher = Encrypted(N, K, B)
+        combo = Combined(N, M, B)
+        from repro.terms import ForAll, Has, Parameter, Sort
+
+        signature = Encrypted(N, PrivateKey("Kb"), B)
+        x = Parameter("x", Sort.KEY)
+        return InstancePool(
+            principals=(A, B, S),
+            keys=(K,),
+            messages=(N, M, cipher, combo, signature, Group((N, M)),
+                      Forwarded(N)),
+            formulas=(P, Q, ForAll(x, Has(A, x))),
+            secrets=(M,),
+        )
+
+    def test_every_schema_enumerates_wellformed_instances(self):
+        pool = self.make_pool()
+        for name, sch in AXIOMS.items():
+            instances = list(itertools.islice(sch.instances(pool), 50))
+            assert instances, f"{name} produced no instances"
+            for instance in instances:
+                assert isinstance(instance, Formula)
+
+    def test_a5_instances_respect_side_condition(self):
+        pool = self.make_pool()
+        for instance in AXIOMS["A5"].instances(pool):
+            # antecedent: SharedKey(P,...) & Sees(..., {X^S}_K); P != S
+            shared = instance.antecedent.left
+            cipher = instance.antecedent.right.message
+            assert shared.left != cipher.sender
+
+    def test_group_schema_instance_count(self):
+        pool = self.make_pool()
+        # one group with 2 parts, 3 principals -> 6 instances of A7
+        assert len(list(AXIOMS["A7"].instances(pool))) == 6

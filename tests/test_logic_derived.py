@@ -1,0 +1,115 @@
+"""Tests for the derived theorems with checked proofs."""
+
+import pytest
+
+from repro.logic import (
+    ProofBuilder,
+    prove_a4,
+    prove_belief_conj_elim,
+    prove_belief_lift,
+    prove_jurisdiction_lifted,
+    prove_message_meaning_lifted,
+    prove_nonce_verification_lifted,
+)
+from repro.terms import (
+    And,
+    Believes,
+    Controls,
+    Fresh,
+    Implies,
+    Key,
+    Nonce,
+    Prim,
+    PrimitiveProposition,
+    Principal,
+    Said,
+    Says,
+    Sees,
+    SharedKey,
+)
+from repro.terms.messages import Encrypted
+
+A = Principal("A")
+B = Principal("B")
+S = Principal("S")
+K = Key("K")
+N = Nonce("N")
+P = Prim(PrimitiveProposition("p"))
+Q = Prim(PrimitiveProposition("q"))
+
+
+class TestDerivedTheorems:
+    def test_a4_checks_and_concludes(self):
+        proof = prove_a4(A, P, Q)
+        proof.check()
+        assert proof.conclusion == Implies(
+            And(Believes(A, P), Believes(A, Q)), Believes(A, And(P, Q))
+        )
+        assert proof.is_theorem()
+
+    def test_conj_elim(self):
+        proof = prove_belief_conj_elim(A, P, Q)
+        assert proof.conclusion == Implies(
+            Believes(A, And(P, Q)), Believes(A, P)
+        )
+
+    def test_belief_lift(self):
+        builder = ProofBuilder()
+        builder.tautology(Implies(And(P, Q), Q))
+        base = builder.build()
+        proof = prove_belief_lift(A, And(P, Q), Q, base)
+        assert proof.conclusion == Implies(
+            Believes(A, And(P, Q)), Believes(A, Q)
+        )
+
+    def test_belief_lift_rejects_wrong_conclusion(self):
+        builder = ProofBuilder()
+        builder.tautology(Implies(P, P))
+        base = builder.build()
+        with pytest.raises(ValueError):
+            prove_belief_lift(A, P, Q, base)
+
+    def test_belief_lift_rejects_premiseful_proof(self):
+        builder = ProofBuilder()
+        builder.premise(Implies(P, Q))
+        base = builder.build()
+        with pytest.raises(ValueError):
+            prove_belief_lift(A, P, Q, base)
+
+    def test_message_meaning_lifted(self):
+        """The BAN message-meaning rule reconstructed from A5 + R2 + A1."""
+        proof = prove_message_meaning_lifted(B, B, K, S, B, N, S)
+        cipher = Encrypted(N, K, S)
+        assert proof.conclusion == Implies(
+            And(
+                Believes(B, SharedKey(B, K, S)),
+                Believes(B, Sees(B, cipher)),
+            ),
+            Believes(B, Said(S, N)),
+        )
+
+    def test_jurisdiction_lifted(self):
+        proof = prove_jurisdiction_lifted(B, S, P)
+        assert proof.conclusion == Implies(
+            And(Believes(B, Controls(S, P)), Believes(B, Says(S, P))),
+            Believes(B, P),
+        )
+
+    def test_nonce_verification_lifted(self):
+        proof = prove_nonce_verification_lifted(B, S, N)
+        assert proof.conclusion == Implies(
+            And(Believes(B, Fresh(N)), Believes(B, Said(S, N))),
+            Believes(B, Says(S, N)),
+        )
+
+    def test_all_derived_proofs_are_theorems(self):
+        proofs = [
+            prove_a4(A, P, Q),
+            prove_belief_conj_elim(B, Q, P),
+            prove_message_meaning_lifted(A, A, K, B, A, N, S),
+            prove_jurisdiction_lifted(A, S, P),
+            prove_nonce_verification_lifted(A, B, N),
+        ]
+        for proof in proofs:
+            proof.check()
+            assert proof.is_theorem()

@@ -1,0 +1,264 @@
+"""Tests for facts, the message pool, and the forward-chaining engine."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.logic import (
+    Derivation,
+    Engine,
+    Fact,
+    FactIndex,
+    MessagePool,
+    facts_of,
+    normalize_to_facts,
+    standard_rules,
+    transparent,
+)
+from repro.terms import (
+    And,
+    Believes,
+    Controls,
+    ForAll,
+    Forwarded,
+    Fresh,
+    Group,
+    Has,
+    Implies,
+    Key,
+    Nonce,
+    Parameter,
+    Prim,
+    PrimitiveProposition,
+    Principal,
+    Said,
+    Says,
+    Sees,
+    SharedKey,
+    SharedSecret,
+    Sort,
+    combined,
+    encrypted,
+    group,
+)
+
+A = Principal("A")
+B = Principal("B")
+S = Principal("S")
+K = Key("K")
+K2 = Key("K2")
+N = Nonce("N")
+M = Nonce("M")
+P = Prim(PrimitiveProposition("p"))
+GOOD = SharedKey(A, K, B)
+
+
+class TestFacts:
+    def test_normalize_splits_prefix_and_conjunction(self):
+        formula = Believes(A, And(P, Believes(B, GOOD)))
+        facts = normalize_to_facts(formula)
+        assert Fact((A,), P) in facts
+        assert Fact((A, B), GOOD) in facts
+
+    def test_fact_roundtrip(self):
+        fact = Fact((A, B), GOOD)
+        assert normalize_to_facts(fact.to_formula()) == (fact,)
+
+    def test_fact_rejects_unnormalized_body(self):
+        with pytest.raises(EngineError):
+            Fact((), And(P, P))
+        with pytest.raises(EngineError):
+            Fact((), Believes(A, P))
+
+    def test_facts_of_deduplicates(self):
+        facts = facts_of([P, P, And(P, P)])
+        assert facts == (Fact((), P),)
+
+    def test_index_lookup(self):
+        index = FactIndex([Fact((A,), GOOD), Fact((), P)])
+        assert index.holds((A,), GOOD)
+        assert not index.holds((B,), GOOD)
+        assert index.with_body_type((A,), SharedKey) == (Fact((A,), GOOD),)
+        assert len(index) == 2
+
+    def test_index_add_reports_novelty(self):
+        index = FactIndex()
+        assert index.add(Fact((), P))
+        assert not index.add(Fact((), P))
+
+
+class TestMessagePool:
+    def test_supermessages(self):
+        cipher = encrypted(N, K, A)
+        pool = MessagePool([group(N, cipher)])
+        supers = pool.supermessages(N)
+        assert group(N, cipher) in supers
+        assert cipher in supers
+
+    def test_terms_of_sort(self):
+        parameter = Parameter("x", Sort.KEY)
+        pool = MessagePool([group(N, K), SharedKey(A, parameter, B)])
+        assert K in pool.terms_of_sort(Sort.KEY)
+        assert parameter in pool.terms_of_sort(Sort.KEY)
+        assert N in pool.terms_of_sort(Sort.NONCE)
+
+
+class TestTransparency:
+    def test_plain_message_transparent(self):
+        assert transparent(group(N, M), frozenset())
+
+    def test_held_cipher_transparent(self):
+        assert transparent(encrypted(N, K, A), frozenset({K}))
+
+    def test_unheld_cipher_opaque(self):
+        assert not transparent(encrypted(N, K, A), frozenset())
+
+    def test_nested_opaque(self):
+        nested = encrypted(group(N, encrypted(M, K2, B)), K, A)
+        assert not transparent(nested, frozenset({K}))
+        assert transparent(nested, frozenset({K, K2}))
+
+
+def close(formulas, seeds=()):
+    engine = Engine(standard_rules())
+    pool = MessagePool(tuple(seeds) + tuple(formulas))
+    return engine.close(formulas, pool)
+
+
+class TestRules:
+    def test_symmetry(self):
+        derivation = close([Believes(A, GOOD)])
+        assert derivation.holds(Believes(A, SharedKey(B, K, A)))
+
+    def test_sees_decomposition(self):
+        derivation = close([Sees(A, group(N, M)), Sees(A, Forwarded(M))])
+        assert derivation.holds(Sees(A, N))
+        assert derivation.holds(Sees(A, M))
+
+    def test_sees_decrypt_requires_has(self):
+        cipher = encrypted(N, K, B)
+        without = close([Sees(A, cipher)])
+        assert not without.holds(Sees(A, N))
+        with_key = close([Sees(A, cipher), Has(A, K)])
+        assert with_key.holds(Sees(A, N))
+
+    def test_a11_lifts_cipher_seeing(self):
+        cipher = encrypted(N, K, B)
+        derivation = close([Sees(A, cipher), Has(A, K)])
+        assert derivation.holds(Believes(A, Sees(A, cipher)))
+
+    def test_a11_plus_lifts_transparent_messages(self):
+        derivation = close([Sees(A, group(N, M))])
+        assert derivation.holds(Believes(A, Sees(A, group(N, M))))
+
+    def test_opaque_message_not_lifted(self):
+        blob = encrypted(N, K2, B)
+        derivation = close([Sees(A, blob)])
+        assert not derivation.holds(Believes(A, Sees(A, blob)))
+
+    def test_message_meaning(self):
+        cipher = encrypted(N, K, S)
+        derivation = close(
+            [Believes(A, SharedKey(A, K, S)), Sees(A, cipher), Has(A, K)]
+        )
+        assert derivation.holds(Believes(A, Said(S, N)))
+
+    def test_message_meaning_side_condition(self):
+        """No conclusion when the from field names the believer's side."""
+        cipher = encrypted(N, K, A)  # from field A
+        derivation = close(
+            [Believes(A, SharedKey(A, K, S)), Sees(A, cipher), Has(A, K)]
+        )
+        assert not derivation.holds(Believes(A, Said(S, N)))
+
+    def test_message_meaning_secret(self):
+        combo = combined(N, M, S)
+        derivation = close(
+            [Believes(A, SharedSecret(A, M, S)), Believes(A, Sees(A, combo))]
+        )
+        assert derivation.holds(Believes(A, Said(S, N)))
+
+    def test_said_components(self):
+        derivation = close([Believes(A, Said(S, group(N, GOOD)))])
+        assert derivation.holds(Believes(A, Said(S, N)))
+        assert derivation.holds(Believes(A, Said(S, GOOD)))
+
+    def test_nonce_verification_and_jurisdiction(self):
+        derivation = close(
+            [
+                Believes(A, Fresh(N)),
+                Believes(A, Said(S, group(N, GOOD))),
+                Believes(A, Controls(S, GOOD)),
+            ],
+            seeds=[group(N, GOOD)],
+        )
+        assert derivation.holds(Believes(A, Says(S, group(N, GOOD))))
+        assert derivation.holds(Believes(A, Says(S, GOOD)))
+        assert derivation.holds(Believes(A, GOOD))
+
+    def test_says_implies_said(self):
+        derivation = close([Believes(A, Says(S, N))])
+        assert derivation.holds(Believes(A, Said(S, N)))
+
+    def test_freshness_lifting_bounded_by_pool(self):
+        derivation = close([Believes(A, Fresh(N))], seeds=[group(N, M)])
+        assert derivation.holds(Believes(A, Fresh(group(N, M))))
+        assert not derivation.holds(Believes(A, Fresh(group(M, N))))
+
+    def test_forall_instantiation(self):
+        x = Parameter("x", Sort.KEY)
+        quantified = ForAll(x, Controls(S, SharedKey(A, x, B)))
+        derivation = close([Believes(A, quantified)], seeds=[K])
+        assert derivation.holds(Believes(A, Controls(S, GOOD)))
+
+    def test_lifted_modus_ponens(self):
+        honesty = Implies(Believes(B, GOOD), GOOD)
+        derivation = close(
+            [Believes(A, honesty), Believes(A, Believes(B, GOOD))]
+        )
+        assert derivation.holds(Believes(A, GOOD))
+
+    def test_has_introspection(self):
+        derivation = close([Has(A, K)])
+        assert derivation.holds(Believes(A, Has(A, K)))
+
+
+class TestEngineMechanics:
+    def test_max_facts_guard(self):
+        engine = Engine(standard_rules(), max_facts=3)
+        formulas = [
+            Believes(A, Fresh(N)),
+            Believes(A, Fresh(M)),
+            Sees(A, group(N, M)),
+            Has(A, K),
+        ]
+        pool = MessagePool(formulas + [group(N, M), group(M, N)])
+        with pytest.raises(EngineError):
+            engine.close(formulas, pool)
+
+    def test_max_prefix_limits_derived_nesting(self):
+        """Given assumptions are admitted at any depth, but rules do not
+        generate facts nested beyond max_prefix."""
+        formulas = [
+            Believes(B, Controls(S, Believes(A, GOOD))),
+            Believes(B, Says(S, Believes(A, GOOD))),
+        ]
+        pool = MessagePool(formulas)
+        shallow = Engine(standard_rules(), max_prefix=1).close(formulas, pool)
+        assert not shallow.holds(Believes(B, Believes(A, GOOD)))
+        deep = Engine(standard_rules(), max_prefix=2).close(formulas, pool)
+        assert deep.holds(Believes(B, Believes(A, GOOD)))
+
+    def test_explain_marks_underived(self):
+        derivation = close([Believes(A, GOOD)])
+        text = derivation.explain(Believes(B, GOOD))
+        assert "NOT DERIVED" in text
+
+    def test_explain_shows_rule_names(self):
+        derivation = close([Believes(A, GOOD)])
+        text = derivation.explain(Believes(A, SharedKey(B, K, A)))
+        assert "A21" in text
+
+    def test_missing_lists_gaps(self):
+        derivation = close([Believes(A, GOOD)])
+        missing = derivation.missing(And(Believes(A, GOOD), P))
+        assert missing == (Fact((), P),)

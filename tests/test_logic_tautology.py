@@ -1,0 +1,101 @@
+"""Tests for the propositional tautology checker."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ProofError
+from repro.logic import find_falsifying_valuation, is_tautology, propositional_atoms
+from repro.terms import (
+    And,
+    Believes,
+    Iff,
+    Implies,
+    Key,
+    Not,
+    Or,
+    Prim,
+    PrimitiveProposition,
+    Principal,
+    SharedKey,
+    Truth,
+)
+
+from tests.strategies import propositional_formulas
+
+A = Principal("A")
+P = Prim(PrimitiveProposition("p"))
+Q = Prim(PrimitiveProposition("q"))
+GOOD = SharedKey(A, Key("K"), A)
+
+
+class TestTautologies:
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            Implies(P, P),
+            Or(P, Not(P)),
+            Implies(And(P, Q), P),
+            Implies(P, Implies(Q, And(P, Q))),
+            Iff(Not(Not(P)), P),
+            Truth(),
+            Implies(Not(P), Implies(P, Q)),  # ex falso
+        ],
+    )
+    def test_tautology(self, formula):
+        assert is_tautology(formula)
+
+    @pytest.mark.parametrize(
+        "formula",
+        [P, Not(P), And(P, Not(P)), Implies(P, Q), Iff(P, Q)],
+    )
+    def test_not_tautology(self, formula):
+        assert not is_tautology(formula)
+
+    def test_modal_subformulas_are_atoms(self):
+        """Belief formulas are opaque: B(p) ∨ ¬B(p) is a tautology,
+        but B(p ∨ ¬p) is not (it is valid, but not *propositionally*)."""
+        belief = Believes(A, P)
+        assert is_tautology(Or(belief, Not(belief)))
+        assert not is_tautology(Believes(A, Or(P, Not(P))))
+
+    def test_instance_of_tautology_with_compound_atoms(self):
+        assert is_tautology(Implies(And(GOOD, P), GOOD))
+
+
+class TestAtoms:
+    def test_atom_extraction(self):
+        formula = Implies(And(P, GOOD), Or(Q, Believes(A, P)))
+        atoms = propositional_atoms(formula)
+        assert set(atoms) == {P, GOOD, Q, Believes(A, P)}
+
+    def test_truth_is_not_an_atom(self):
+        assert propositional_atoms(Truth()) == ()
+
+    def test_atom_limit(self):
+        atoms = [Prim(PrimitiveProposition(f"x{i}")) for i in range(25)]
+        big = atoms[0]
+        for atom in atoms[1:]:
+            big = And(big, atom)
+        with pytest.raises(ProofError):
+            is_tautology(big)
+
+
+class TestFalsification:
+    def test_falsifying_valuation_found(self):
+        valuation = find_falsifying_valuation(Implies(P, Q))
+        assert valuation is not None
+        assert valuation[P] and not valuation[Q]
+
+    def test_tautology_has_no_falsification(self):
+        assert find_falsifying_valuation(Or(P, Not(P))) is None
+
+    @given(propositional_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_checker_agrees_with_witness(self, formula):
+        witness = find_falsifying_valuation(formula)
+        assert is_tautology(formula) == (witness is None)
+
+    @given(propositional_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_excluded_middle_over_anything(self, formula):
+        assert is_tautology(Or(formula, Not(formula)))

@@ -1,0 +1,128 @@
+"""Unit tests for actions, local/environment/global states."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (
+    EnvState,
+    GlobalState,
+    Internal,
+    LocalState,
+    NewKey,
+    Receive,
+    Send,
+)
+from repro.terms import Key, Nonce, Principal
+
+A = Principal("A")
+B = Principal("B")
+K = Key("K")
+N = Nonce("N")
+
+
+class TestActions:
+    def test_send_fields(self):
+        action = Send(N, B)
+        assert action.message == N and action.recipient == B
+
+    def test_send_requires_principal_recipient(self):
+        with pytest.raises(ModelError):
+            Send(N, K)  # type: ignore[arg-type]
+
+    def test_receive_tags_message(self):
+        """The model records receive(m) 'in order to tag the receive()
+        action with the message m returned'."""
+        assert Receive(N).message == N
+
+    def test_newkey_requires_key(self):
+        with pytest.raises(ModelError):
+            NewKey(N)  # type: ignore[arg-type]
+
+    def test_internal_label(self):
+        assert Internal("toss").label == "toss"
+        with pytest.raises(ModelError):
+            Internal("")
+
+    def test_str_forms(self):
+        assert str(Send(N, B)) == "send(N, B)"
+        assert str(Receive(N)) == "receive(N)"
+        assert str(NewKey(K)) == "newkey(K)"
+
+
+class TestLocalState:
+    def test_empty_default(self):
+        state = LocalState()
+        assert state.history == () and state.keys == frozenset()
+
+    def test_after_appends_history(self):
+        state = LocalState().after(Send(N, B))
+        assert state.history == (Send(N, B),)
+
+    def test_after_newkey_grows_keyset(self):
+        state = LocalState().after(NewKey(K))
+        assert K in state.keys
+
+    def test_received_and_sent_messages(self):
+        state = LocalState().after(Receive(N)).after(Send(N, B))
+        assert state.received_messages == {N}
+        assert state.sent_messages == {N}
+
+    def test_with_data_sorted(self):
+        state = LocalState().with_data("z", 1).with_data("a", 2)
+        assert state.data == (("a", 2), ("z", 1))
+        assert state.datum("z") == 1
+        assert state.datum("missing", "default") == "default"
+
+    def test_data_must_be_sorted(self):
+        with pytest.raises(ModelError):
+            LocalState(data=(("b", 1), ("a", 2)))
+
+    def test_states_hashable(self):
+        assert hash(LocalState()) == hash(LocalState())
+
+
+class TestEnvState:
+    def test_record_tags_actions(self):
+        env = EnvState().record(A, Send(N, B))
+        assert env.history == ((A, Send(N, B)),)
+        assert env.actions_of(A) == (Send(N, B),)
+        assert env.actions_of(B) == ()
+
+    def test_buffers_sorted_by_principal(self):
+        env = EnvState().with_buffers({B: (N,), A: ()})
+        assert env.buffers[0][0] == A
+        assert env.buffer(B) == (N,)
+        assert env.buffer(Principal("C")) == ()
+
+
+class TestGlobalState:
+    def test_initial(self):
+        state = GlobalState.initial([B, A], keysets={A: [K]})
+        assert state.principals == (A, B)
+        assert state.local(A).keys == {K}
+        assert state.local(B).history == ()
+
+    def test_initial_with_data(self):
+        state = GlobalState.initial([A], data={A: {"coin": "heads"}})
+        assert state.local(A).datum("coin") == "heads"
+
+    def test_unknown_principal_raises(self):
+        state = GlobalState.initial([A])
+        with pytest.raises(ModelError):
+            state.local(B)
+
+    def test_with_local_replaces(self):
+        state = GlobalState.initial([A, B])
+        updated = state.with_local(A, LocalState().after(NewKey(K)))
+        assert K in updated.local(A).keys
+        assert updated.local(B) == state.local(B)
+
+    def test_locals_must_be_sorted(self):
+        local = LocalState()
+        with pytest.raises(ModelError):
+            GlobalState(EnvState(), ((B, local), (A, local)))
+
+    def test_duplicate_principals_rejected(self):
+        local = LocalState()
+        with pytest.raises(ModelError):
+            GlobalState(EnvState(), ((A, local), (A, local)))

@@ -1,0 +1,126 @@
+"""Tests for the seen-submsgs and said-submsgs operators (Section 5)."""
+
+from hypothesis import given, settings
+
+from repro.model import said_submsgs, seen_submsgs, seen_submsgs_all
+from repro.terms import (
+    Combined,
+    Encrypted,
+    Forwarded,
+    Group,
+    Key,
+    Nonce,
+    Principal,
+    submessages,
+)
+
+from tests.strategies import messages
+
+A = Principal("A")
+B = Principal("B")
+K = Key("K")
+K2 = Key("K2")
+N = Nonce("N")
+M = Nonce("M")
+
+
+class TestSeenSubmsgs:
+    def test_message_itself_is_seen(self):
+        assert N in seen_submsgs(frozenset(), N)
+
+    def test_group_parts_seen(self):
+        assert seen_submsgs(frozenset(), Group((N, M))) >= {N, M}
+
+    def test_encryption_blocks_without_key(self):
+        cipher = Encrypted(N, K, A)
+        seen = seen_submsgs(frozenset(), cipher)
+        assert cipher in seen and N not in seen
+
+    def test_encryption_opens_with_key(self):
+        cipher = Encrypted(N, K, A)
+        assert N in seen_submsgs(frozenset({K}), cipher)
+
+    def test_combination_conceals_nothing(self):
+        """Clause 3: (X)_Y reveals X — the secret authenticates, it
+        does not encrypt."""
+        assert N in seen_submsgs(frozenset(), Combined(N, M, A))
+
+    def test_combination_secret_not_seen(self):
+        assert M not in seen_submsgs(frozenset(), Combined(N, M, A))
+
+    def test_forwarding_transparent(self):
+        assert N in seen_submsgs(frozenset(), Forwarded(N))
+
+    def test_nested_encryption(self):
+        inner = Encrypted(N, K2, B)
+        outer = Encrypted(Group((M, inner)), K, A)
+        seen = seen_submsgs(frozenset({K}), outer)
+        assert inner in seen and M in seen and N not in seen
+        assert N in seen_submsgs(frozenset({K, K2}), outer)
+
+    def test_seen_submsgs_all(self):
+        out = seen_submsgs_all(frozenset(), [N, Group((M, K))])
+        assert {N, M, K} <= set(out)
+
+    @given(messages())
+    @settings(max_examples=60)
+    def test_seen_is_subset_of_submessages(self, message):
+        assert seen_submsgs(frozenset({K, K2}), message) <= submessages(message)
+
+    @given(messages())
+    @settings(max_examples=60)
+    def test_seen_monotone_in_keys(self, message):
+        small = seen_submsgs(frozenset(), message)
+        large = seen_submsgs(frozenset({K, K2}), message)
+        assert small <= large
+
+
+class TestSaidSubmsgs:
+    def test_said_includes_message(self):
+        assert N in said_submsgs(frozenset(), (), N)
+
+    def test_group_parts_said(self):
+        assert said_submsgs(frozenset(), (), Group((N, M))) >= {N, M}
+
+    def test_ciphertext_contents_said_only_with_key(self):
+        """Clause 2: descending into {X}_K requires holding K — the
+        heart of the E4 incompleteness formula."""
+        cipher = Encrypted(N, K, A)
+        assert N not in said_submsgs(frozenset(), (), cipher)
+        assert N in said_submsgs(frozenset({K}), (), cipher)
+
+    def test_combination_contents_said(self):
+        assert N in said_submsgs(frozenset(), (), Combined(N, M, A))
+
+    def test_honest_forwarding_not_said(self):
+        """Clause 4: a principal that saw X and sends 'X' does not say X."""
+        said = said_submsgs(frozenset(), (N,), Forwarded(N))
+        assert Forwarded(N) in said
+        assert N not in said
+
+    def test_misused_forwarding_is_said(self):
+        """A principal 'forwarding' something it never saw is held to
+        account for the contents (axiom A14)."""
+        said = said_submsgs(frozenset(), (), Forwarded(N))
+        assert N in said
+
+    def test_forwarded_ciphertext_contents(self):
+        cipher = Encrypted(N, K, A)
+        # never saw it, holds the key: accountable all the way down
+        assert N in said_submsgs(frozenset({K}), (), Forwarded(cipher))
+        # saw it: forwarding shields everything below
+        assert N not in said_submsgs(frozenset({K}), (cipher,), Forwarded(cipher))
+
+    def test_seen_inside_received_group_counts(self):
+        """The seen check uses seen-submsgs of the received set, so a
+        forwarded message seen inside a readable container is 'seen'."""
+        container = Group((M, N))
+        said = said_submsgs(frozenset(), (container,), Forwarded(N))
+        assert N not in said
+
+    @given(messages())
+    @settings(max_examples=60)
+    def test_said_is_subset_of_submessages(self, message):
+        assert said_submsgs(frozenset({K, K2}), (), message) <= submessages(
+            message
+        )

@@ -1,0 +1,87 @@
+"""Tests for systems and interpretations."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import Interpretation, RunBuilder, System, system_of
+from repro.terms import Key, Nonce, Principal, PrimitiveProposition, Sort, Vocabulary
+
+A = Principal("A")
+B = Principal("B")
+K = Key("K")
+N = Nonce("N")
+P = PrimitiveProposition("p")
+
+
+def make_run(name: str):
+    builder = RunBuilder([A, B], keysets={A: [K]})
+    builder.send(A, N, B)
+    builder.receive(B)
+    return builder.build(name)
+
+
+class TestInterpretation:
+    def test_empty_everywhere_false(self):
+        run = make_run("r1")
+        assert not Interpretation.empty().holds(P, run, 0)
+
+    def test_from_table(self):
+        run = make_run("r1")
+        interp = Interpretation.from_table({P: [("r1", 1)]})
+        assert interp.holds(P, run, 1)
+        assert not interp.holds(P, run, 0)
+
+    def test_from_run_table(self):
+        run = make_run("r1")
+        other = make_run("r2")
+        interp = Interpretation.from_run_table({P: ["r1"]})
+        assert interp.holds(P, run, 0) and interp.holds(P, run, 2)
+        assert not interp.holds(P, other, 0)
+
+    def test_from_predicate(self):
+        run = make_run("r1")
+        interp = Interpretation.from_predicate(lambda p, r, k: k == 2)
+        assert interp.holds(P, run, 2) and not interp.holds(P, run, 1)
+
+
+class TestSystem:
+    def test_requires_runs(self):
+        with pytest.raises(ModelError):
+            System(())
+
+    def test_unique_run_names(self):
+        run = make_run("r1")
+        with pytest.raises(ModelError):
+            system_of([run, run])
+
+    def test_run_lookup(self):
+        system = system_of([make_run("r1"), make_run("r2")])
+        assert system.run("r2").name == "r2"
+        with pytest.raises(ModelError):
+            system.run("r3")
+
+    def test_points_cover_all_runs(self):
+        system = system_of([make_run("r1"), make_run("r2")])
+        assert len(list(system.points())) == 6
+        assert len(list(system.initial_points())) == 2
+
+    def test_vocabulary_synthesized(self):
+        system = system_of([make_run("r1")])
+        assert "A" in system.vocabulary
+        assert "K" in system.vocabulary
+        assert "Env" in system.vocabulary
+
+    def test_explicit_vocabulary_kept(self):
+        vocab = Vocabulary()
+        vocab.principal("A")
+        system = system_of([make_run("r1")], vocabulary=vocab)
+        assert len(vocab) == 1
+
+    def test_wellformedness_report(self):
+        system = system_of([make_run("r1")])
+        assert system.is_wellformed()
+        assert system.wellformedness_report() == {"r1": []}
+
+    def test_principals(self):
+        system = system_of([make_run("r1")])
+        assert system.principals() == (A, B)

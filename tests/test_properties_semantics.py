@@ -1,0 +1,159 @@
+"""Property-based tests tying the layers together.
+
+These are the randomized counterparts of the headline experiments:
+axiom instances hold on generated systems, engine conclusions certify,
+and semantic invariants (monotone seeing, stable saying, constant
+freshness) hold along arbitrary generated runs.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import AXIOMS, certify, standard_rules
+from repro.logic.engine import Engine, MessagePool
+from repro.semantics import Evaluator
+from repro.soundness import GeneratorConfig, generate_system, pool_from_system
+from repro.terms import Believes, Fresh, Said, Says, Sees
+
+#: One moderately sized system per seed, generated lazily and cached.
+_SYSTEMS: dict[int, object] = {}
+
+
+def system_for(seed: int):
+    if seed not in _SYSTEMS:
+        _SYSTEMS[seed] = generate_system(
+            GeneratorConfig(seed=seed, runs=2, steps_per_run=10)
+        )
+    return _SYSTEMS[seed]
+
+
+class TestRandomizedSoundness:
+    @given(st.integers(min_value=0, max_value=15),
+           st.sampled_from(sorted(AXIOMS)))
+    @settings(max_examples=60, deadline=None)
+    def test_sampled_axiom_instances_hold(self, seed, schema_name):
+        """Any instance of any schema holds at the last point of every
+        run of a random system (a spot check of the full sweep)."""
+        system = system_for(seed)
+        pool = pool_from_system(system)
+        schema = AXIOMS[schema_name]
+        evaluator = Evaluator(system)
+        for instance in itertools.islice(schema.instances(pool), 5):
+            if schema_name == "A11":
+                continue  # the documented nesting caveat
+            for run in system.runs:
+                assert evaluator.evaluate(instance, run, run.end_time), (
+                    f"{schema_name}: {instance} fails in {run.name}"
+                )
+
+
+class TestRandomizedRunInvariants:
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_seen_sets_monotone_over_time(self, seed):
+        system = system_for(seed % 8)
+        evaluator = Evaluator(system)
+        for run in system.runs:
+            for principal in run.principals:
+                previous = frozenset()
+                for k in run.times:
+                    current = evaluator._seen_set(principal, run, k)
+                    assert previous <= current
+                    previous = current
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_said_facts_stable(self, seed):
+        """Once said, always said: the said-entry encoding is monotone."""
+        system = system_for(seed % 8)
+        evaluator = Evaluator(system)
+        for run in system.runs:
+            for principal in run.all_principals:
+                entries = evaluator._said_entries(principal, run)
+                for sent_at, components in entries:
+                    for component in components:
+                        for k in run.times:
+                            if k >= sent_at:
+                                assert evaluator.evaluate(
+                                    Said(principal, component), run, k
+                                )
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_says_implies_said_pointwise(self, seed):
+        """Schema S1, checked directly on every said component."""
+        system = system_for(seed % 8)
+        evaluator = Evaluator(system)
+        for run in system.runs:
+            for principal in run.all_principals:
+                for sent_at, components in evaluator._said_entries(
+                    principal, run
+                ):
+                    end = run.end_time
+                    for component in components:
+                        if evaluator.evaluate(Says(principal, component),
+                                              run, end):
+                            assert evaluator.evaluate(
+                                Said(principal, component), run, end
+                            )
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_freshness_constant_per_run(self, seed):
+        system = system_for(seed % 8)
+        evaluator = Evaluator(system)
+        for run in system.runs:
+            past = evaluator._past_submsgs(run)
+            for message in itertools.islice(past, 5):
+                values = {
+                    evaluator.evaluate(Fresh(message), run, k)
+                    for k in run.times
+                }
+                assert values == {False}
+
+
+class TestRandomizedCertification:
+    @given(st.integers(min_value=0, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_derived_belief_facts_certify(self, seed):
+        """Close a random assumption set under the AT rules; every
+        derived fact must compile to a checked Hilbert proof."""
+        import random
+
+        from repro.terms import (
+            Controls,
+            Has,
+            Key,
+            Nonce,
+            Principal,
+            SharedKey,
+            encrypted,
+            group,
+        )
+
+        rng = random.Random(seed)
+        a, b, s = Principal("A"), Principal("B"), Principal("S")
+        key = Key("K")
+        nonce = Nonce(rng.choice(["N1", "N2"]))
+        good = SharedKey(a, key, b)
+        cipher = encrypted(group(nonce, good), key, s)
+        formulas = [
+            Believes(a, SharedKey(a, key, s)),
+            Believes(a, Fresh(nonce)),
+            Believes(a, Controls(s, good)),
+            Sees(a, cipher),
+            Has(a, key),
+        ]
+        engine = Engine(standard_rules())
+        pool = MessagePool(formulas + [cipher])
+        derivation = engine.close(formulas, pool)
+        checked = 0
+        for fact in derivation.index:
+            if fact in derivation.origins and fact.prefix:
+                proof = certify(derivation, fact.to_formula())
+                proof.check()
+                checked += 1
+        assert checked > 3

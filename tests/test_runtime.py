@@ -1,0 +1,180 @@
+"""Tests for scenarios, attacker transformations, and attack systems."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.model import ENVIRONMENT, check_run
+from repro.protocols import needham_schroeder as ns
+from repro.runtime import (
+    Scenario,
+    ScriptEpoch,
+    ScriptNewKey,
+    ScriptReceive,
+    ScriptSend,
+    build_attack_system,
+    execute,
+    message_flow,
+    with_lost_message,
+    with_replay,
+    with_wiretap,
+)
+from repro.semantics import Evaluator
+from repro.terms import (
+    Believes,
+    Fresh,
+    Key,
+    Nonce,
+    Principal,
+    Said,
+    Says,
+    Sees,
+    encrypted,
+)
+
+A = Principal("A")
+B = Principal("B")
+K = Key("K")
+N = Nonce("N")
+
+
+def simple_scenario() -> Scenario:
+    cipher = encrypted(N, K, A)
+    return Scenario.create(
+        "simple", [A, B], keysets={A: [K], B: [K]}
+    ).with_actions(
+        [
+            ScriptSend(A, cipher, B),
+            ScriptReceive(B, cipher),
+        ]
+    )
+
+
+class TestScenario:
+    def test_execute_produces_wellformed_run(self):
+        run = execute(simple_scenario())
+        assert check_run(run) == []
+        assert run.name == "simple"
+
+    def test_epoch_action(self):
+        scenario = simple_scenario().appended(ScriptEpoch())
+        run = execute(scenario)
+        assert run.start_time == -2
+
+    def test_newkey_action(self):
+        scenario = simple_scenario().appended(ScriptNewKey(B, Key("K2")))
+        run = execute(scenario)
+        assert Key("K2") in run.keyset(B, run.end_time)
+
+    def test_message_flow_builder(self):
+        flow = message_flow(
+            "flow",
+            [A, B],
+            [(A, encrypted(N, K, A), B)],
+            keysets={A: [K], B: [K]},
+        )
+        run = execute(flow)
+        assert run.received_messages(B, run.end_time)
+
+    def test_renaming(self):
+        assert simple_scenario().renamed("other").name == "other"
+
+
+class TestAttacks:
+    def test_lost_message(self):
+        lost = with_lost_message(simple_scenario(), 0)
+        run = execute(lost)
+        assert check_run(run) == []
+        assert not run.received_messages(B, run.end_time)
+
+    def test_lost_message_bad_index(self):
+        with pytest.raises(ProtocolError):
+            with_lost_message(simple_scenario(), 5)
+
+    def test_wiretap_preserves_delivery(self):
+        tapped = with_wiretap(simple_scenario(), 0)
+        run = execute(tapped)
+        assert check_run(run) == []
+        cipher = encrypted(N, K, A)
+        assert cipher in run.received_messages(B, run.end_time)
+        assert cipher in run.received_messages(ENVIRONMENT, run.end_time)
+
+    def test_replay_moves_original_into_past(self):
+        replayed = with_replay(simple_scenario(), 0)
+        run = execute(replayed)
+        assert check_run(run) == []
+        assert run.start_time < 0
+        evaluator = Evaluator(build_attack_system(simple_scenario(),
+                                                  [replayed]))
+        # In the replay run the message was said, but not in this epoch:
+        assert evaluator.evaluate(Said(A, N), run, run.end_time)
+        assert not evaluator.evaluate(Says(A, N), run, run.end_time)
+        assert not evaluator.evaluate(Fresh(N), run, run.end_time)
+
+    def test_attack_system(self):
+        normal = simple_scenario()
+        system = build_attack_system(
+            normal, [with_lost_message(normal, 0), with_wiretap(normal, 0)]
+        )
+        assert len(system.runs) == 3
+        assert system.is_wellformed()
+
+
+class TestNeedhamSchroederSystem:
+    def test_system_wellformed(self):
+        system = ns.build_system()
+        assert system.is_wellformed()
+        assert len(system.runs) == 3
+
+    def test_replay_attack_semantics(self):
+        """The published weakness, concretely: in the replay run B holds
+        a stale ticket — said once, never said this epoch, not fresh."""
+        ctx = ns.make_context()
+        system = ns.build_system()
+        evaluator = Evaluator(system)
+        replay = system.run("ns-normal-replay-2")
+        end = replay.end_time
+        assert evaluator.evaluate(Sees(ctx.b, ctx.ticket), replay, end)
+        assert evaluator.evaluate(Said(ctx.s, ctx.good), replay, end)
+        assert not evaluator.evaluate(Says(ctx.s, ctx.good), replay, end)
+        assert not evaluator.evaluate(Fresh(ctx.good), replay, end)
+
+    def test_normal_run_fresh(self):
+        ctx = ns.make_context()
+        system = ns.build_system()
+        evaluator = Evaluator(system)
+        normal = system.run("ns-normal")
+        assert evaluator.evaluate(Fresh(ctx.good), normal, 0)
+        assert evaluator.evaluate(
+            Says(ctx.s, ctx.good), normal, normal.end_time
+        )
+
+    def test_b_cannot_believe_freshness_after_replay(self):
+        """The semantic heart of the flaw: at the end of the replay run
+        the key assertion is stale, so no sound notion of belief can
+        grant B `fresh(A <-Kab-> B)` there."""
+        ctx = ns.make_context()
+        system = ns.build_system()
+        evaluator = Evaluator(system)
+        replay = system.run("ns-normal-replay-2")
+        assert not evaluator.evaluate(
+            Believes(ctx.b, Fresh(ctx.good)), replay, replay.end_time
+        )
+        # Even in the normal run B cannot *know* freshness: its local
+        # state also occurs in the pre-epoch segment of the replay
+        # world, where the key assertion is stale.
+        normal = system.run("ns-normal")
+        assert not evaluator.evaluate(
+            Believes(ctx.b, Fresh(ctx.good)), normal, normal.end_time
+        )
+        # Only as a *preconception* — excluding replay worlds from B's
+        # good runs — does the freshness belief arise (and that is
+        # exactly the "dubious assumption" BAN89 had to add):
+        from repro.semantics import GoodRunVector
+
+        vector = GoodRunVector.of(
+            {ctx.b: ["ns-normal", "ns-normal-wiretap-2"]}
+        )
+        trusting = Evaluator(system, vector)
+        assert trusting.evaluate(
+            Believes(ctx.b, Fresh(ctx.good)), normal, normal.end_time
+        )

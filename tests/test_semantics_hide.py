@@ -1,0 +1,130 @@
+"""Tests for the hide operation (Section 6)."""
+
+from hypothesis import given, settings
+
+from repro.model import RunBuilder
+from repro.semantics import OPAQUE, hidden_local_view, hide_message, hide_message_pattern
+from repro.terms import (
+    Encrypted,
+    Forwarded,
+    Group,
+    Key,
+    Nonce,
+    Principal,
+    walk,
+)
+
+from tests.strategies import messages
+
+A = Principal("A")
+B = Principal("B")
+K = Key("K")
+K2 = Key("K2")
+N = Nonce("N")
+M = Nonce("M")
+
+
+class TestHideMessage:
+    def test_readable_ciphertext_kept(self):
+        cipher = Encrypted(N, K, A)
+        assert hide_message(frozenset({K}), cipher) == cipher
+
+    def test_unreadable_ciphertext_blinded(self):
+        cipher = Encrypted(N, K, A)
+        assert hide_message(frozenset(), cipher) == OPAQUE
+
+    def test_paper_example(self):
+        """({X}_K, {Y}_K') with only K' held becomes (⊥, {Y}_K')."""
+        pair = Group((Encrypted(N, K, A), Encrypted(M, K2, B)))
+        hidden = hide_message(frozenset({K2}), pair)
+        assert hidden == Group((OPAQUE, Encrypted(M, K2, B)))
+
+    def test_nested_unreadable_inside_readable(self):
+        inner = Encrypted(N, K2, B)
+        outer = Encrypted(Group((M, inner)), K, A)
+        hidden = hide_message(frozenset({K}), outer)
+        assert hidden == Encrypted(Group((M, OPAQUE)), K, A)
+
+    def test_distinct_ciphertexts_collapse_to_one_bottom(self):
+        """The extended abstract's single-⊥ reading: identity of
+        unreadable blobs is not preserved."""
+        pair = Group((Encrypted(N, K, A), Encrypted(M, K, A)))
+        hidden = hide_message(frozenset(), pair)
+        assert hidden == Group((OPAQUE, OPAQUE))
+
+    def test_forwarding_traversed(self):
+        hidden = hide_message(frozenset(), Forwarded(Encrypted(N, K, A)))
+        assert hidden == Forwarded(OPAQUE)
+
+    @given(messages())
+    @settings(max_examples=60)
+    def test_idempotent(self, message):
+        keys = frozenset({K})
+        once = hide_message(keys, message)
+        assert hide_message(keys, once) == once
+
+    @given(messages())
+    @settings(max_examples=60)
+    def test_all_keys_is_identity(self, message):
+        keys = frozenset({Key("Kab"), Key("Kas"), Key("Kbs"), K, K2})
+        assert hide_message(keys, message) == message
+
+    @given(messages())
+    @settings(max_examples=60)
+    def test_no_unreadable_ciphertext_survives(self, message):
+        hidden = hide_message(frozenset({K}), message)
+        for node in walk(hidden):
+            if isinstance(node, Encrypted):
+                assert node.key == K
+
+
+class TestHidePattern:
+    def test_identity_of_blobs_preserved(self):
+        cipher = Encrypted(N, K, A)
+        other = Encrypted(M, K, A)
+        numbering = {}
+        hidden = hide_message_pattern(
+            frozenset(), Group((cipher, cipher, other)), numbering
+        )
+        assert hidden.parts[0] == hidden.parts[1]
+        assert hidden.parts[0] != hidden.parts[2]
+
+    def test_numbering_shared_across_calls(self):
+        cipher = Encrypted(N, K, A)
+        numbering = {}
+        first = hide_message_pattern(frozenset(), cipher, numbering)
+        second = hide_message_pattern(frozenset(), cipher, numbering)
+        assert first == second
+
+
+class TestHiddenLocalView:
+    def test_same_traffic_same_view(self):
+        def build(inner_nonce):
+            builder = RunBuilder([A, B], keysets={A: [K], B: [K, K2]})
+            message = Encrypted(
+                Group((M, Encrypted(inner_nonce, K2, B))), K, B
+            )
+            builder.send(B, message, A)
+            builder.receive(A)
+            return builder.build(f"run-{inner_nonce}")
+
+        run1 = build(N)
+        run2 = build(Nonce("N2"))
+        view1 = hidden_local_view(run1, A, run1.end_time)
+        view2 = hidden_local_view(run2, A, run2.end_time)
+        assert view1 == view2  # A cannot tell the runs apart
+
+        # B, holding K2, distinguishes them:
+        assert hidden_local_view(run1, B, 1) != hidden_local_view(run2, B, 1)
+
+    def test_view_is_hashable(self):
+        builder = RunBuilder([A, B])
+        run = builder.build("empty")
+        assert hash(hidden_local_view(run, A, 0)) is not None
+
+    def test_env_view(self):
+        builder = RunBuilder([A, B], keysets={A: [K]})
+        builder.send(A, Encrypted(N, K, A), B)
+        run = builder.build("env")
+        view = hidden_local_view(run, run.environment, run.end_time)
+        assert view[0] == "env"

@@ -1,0 +1,105 @@
+"""Tests for validity and stability (Sections 2.3 / 4.3)."""
+
+from repro.model import Interpretation, RunBuilder, system_of
+from repro.semantics import (
+    Evaluator,
+    find_stability_counterexample,
+    find_validity_counterexample,
+    holds_initially,
+    is_stable,
+    is_valid,
+    is_valid_in_epoch,
+    satisfying_points,
+)
+from repro.terms import (
+    Believes,
+    Implies,
+    Key,
+    Nonce,
+    Not,
+    Principal,
+    Said,
+    Sees,
+    Truth,
+    Vocabulary,
+    encrypted,
+)
+
+A = Principal("A")
+B = Principal("B")
+K = Key("K")
+N = Nonce("N")
+
+
+def build_system():
+    vocab = Vocabulary()
+    vocab.principal("A"), vocab.principal("B")
+    vocab.key("K"), vocab.nonce("N")
+    builder = RunBuilder([A, B], keysets={A: [K], B: [K]})
+    builder.send(A, N, B)
+    builder.receive(B)
+    run = builder.build("r")
+    return system_of([run], vocabulary=vocab), run
+
+
+class TestValidity:
+    def test_truth_is_valid(self):
+        system, _ = build_system()
+        assert is_valid(Evaluator(system), Truth())
+
+    def test_sees_not_valid(self):
+        system, _ = build_system()
+        ev = Evaluator(system)
+        counterexample = find_validity_counterexample(ev, Sees(B, N))
+        assert counterexample is not None
+        assert counterexample.time == 0  # false before the receive
+
+    def test_validity_in_epoch(self):
+        system, _ = build_system()
+        ev = Evaluator(system)
+        assert is_valid_in_epoch(ev, Implies(Sees(B, N), Said(A, N)))
+
+    def test_holds_initially(self):
+        system, _ = build_system()
+        ev = Evaluator(system)
+        assert holds_initially(ev, Not(Sees(B, N)))
+
+    def test_satisfying_points(self):
+        system, run = build_system()
+        ev = Evaluator(system)
+        points = list(satisfying_points(ev, Sees(B, N)))
+        assert points == [(run, 2)]
+
+    def test_necessitation_preserves_validity(self):
+        """R2's semantic core: valid φ yields valid P believes φ."""
+        system, _ = build_system()
+        ev = Evaluator(system)
+        phi = Implies(Sees(B, N), Said(A, N))
+        assert is_valid(ev, phi)
+        assert is_valid(ev, Believes(A, phi))
+        assert is_valid(ev, Believes(B, Believes(A, phi)))
+
+
+class TestStability:
+    def test_sees_is_stable(self):
+        """The annotation procedure's soundness rests on 'Q sees X'
+        being stable (Section 4.3)."""
+        system, _ = build_system()
+        assert is_stable(Evaluator(system), Sees(B, N))
+
+    def test_said_is_stable(self):
+        system, _ = build_system()
+        assert is_stable(Evaluator(system), Said(A, N))
+
+    def test_negated_sees_is_unstable(self):
+        """With negation in the language unstable formulas exist —
+        why annotation formulas must be restricted (Section 4.3)."""
+        system, _ = build_system()
+        ev = Evaluator(system)
+        counterexample = find_stability_counterexample(ev, Not(Sees(B, N)))
+        assert counterexample is not None
+        assert "true at 0" in counterexample.reason
+
+    def test_belief_of_sees_stable_here(self):
+        system, _ = build_system()
+        assert is_stable(Evaluator(system), Believes(B, Sees(B, N)))

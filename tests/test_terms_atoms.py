@@ -1,0 +1,90 @@
+"""Unit tests for primitive terms (Section 4.1's set T)."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.terms import (
+    Key,
+    Nonce,
+    Opaque,
+    Parameter,
+    PrimitiveProposition,
+    Principal,
+    Sort,
+)
+
+
+class TestAtomConstruction:
+    def test_principal_has_name_and_sort(self):
+        a = Principal("A")
+        assert a.name == "A"
+        assert a.sort is Sort.PRINCIPAL
+
+    def test_key_sort(self):
+        assert Key("Kab").sort is Sort.KEY
+
+    def test_nonce_sort(self):
+        assert Nonce("Na").sort is Sort.NONCE
+
+    def test_proposition_sort(self):
+        assert PrimitiveProposition("p").sort is Sort.PROPOSITION
+
+    def test_str_is_name(self):
+        assert str(Principal("A")) == "A"
+        assert str(Key("Kab")) == "Kab"
+
+    def test_structural_equality(self):
+        assert Principal("A") == Principal("A")
+        assert Principal("A") != Principal("B")
+
+    def test_sorts_are_disjoint(self):
+        """The paper requires the constant sets disjoint: a Key named X
+        is not equal to a Nonce named X."""
+        assert Key("X") != Nonce("X")
+        assert hash(Key("X")) != hash(Nonce("X")) or Key("X") != Nonce("X")
+
+    def test_atoms_are_hashable(self):
+        assert len({Principal("A"), Principal("A"), Principal("B")}) == 2
+
+
+class TestAtomValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(TermError):
+            Principal("")
+
+    def test_whitespace_rejected(self):
+        with pytest.raises(TermError):
+            Key("K ab")
+
+    @pytest.mark.parametrize("bad", ["a(b", "a)b", "a,b", "a'b", "a~b", "a&b"])
+    def test_syntax_characters_rejected(self, bad):
+        with pytest.raises(TermError):
+            Nonce(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TermError):
+            Principal(42)  # type: ignore[arg-type]
+
+
+class TestParameter:
+    def test_parameter_carries_sort(self):
+        p = Parameter("Kab", Sort.KEY)
+        assert p.value_sort is Sort.KEY
+
+    def test_parameter_str_is_marked(self):
+        assert str(Parameter("Kab", Sort.KEY)) == "?Kab"
+
+    def test_parameter_requires_sort(self):
+        with pytest.raises(TermError):
+            Parameter("Kab", "key")  # type: ignore[arg-type]
+
+    def test_parameters_differ_by_sort(self):
+        assert Parameter("x", Sort.KEY) != Parameter("x", Sort.NONCE)
+
+
+class TestOpaque:
+    def test_opaque_is_singleton_valued(self):
+        assert Opaque() == Opaque()
+
+    def test_opaque_renders_as_bottom(self):
+        assert str(Opaque()) == "⊥"

@@ -1,0 +1,160 @@
+"""Unit tests for the formula sublanguage (conditions F1-F8)."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.terms import (
+    FALSE,
+    TRUE,
+    And,
+    Believes,
+    Controls,
+    ForAll,
+    Formula,
+    Fresh,
+    Has,
+    Implies,
+    Key,
+    Message,
+    Nonce,
+    Not,
+    Or,
+    Parameter,
+    Prim,
+    PrimitiveProposition,
+    Principal,
+    Said,
+    Says,
+    Sees,
+    SharedKey,
+    SharedSecret,
+    Sort,
+    Truth,
+    belief_depth,
+    believes_chain,
+    conj,
+    disj,
+    implies_chain,
+    strip_beliefs,
+)
+
+A = Principal("A")
+B = Principal("B")
+K = Key("K")
+N = Nonce("N")
+P = Prim(PrimitiveProposition("p"))
+Q = Prim(PrimitiveProposition("q"))
+
+
+class TestConstruction:
+    def test_formulas_are_messages(self):
+        """Condition M1: every formula is a message."""
+        assert isinstance(P, Message)
+        assert isinstance(SharedKey(A, K, B), Message)
+
+    def test_prim_wraps_proposition_only(self):
+        with pytest.raises(TermError):
+            Prim(N)  # type: ignore[arg-type]
+
+    def test_not_and_require_formulas(self):
+        with pytest.raises(TermError):
+            Not(N)  # type: ignore[arg-type]
+        with pytest.raises(TermError):
+            And(P, N)  # type: ignore[arg-type]
+
+    def test_believes_requires_formula_body(self):
+        """Section 3.3: 'it is possible to prove that a principal
+        believes a nonce, which doesn't make much sense' — the new
+        syntax forbids it."""
+        with pytest.raises(TermError):
+            Believes(A, N)  # type: ignore[arg-type]
+
+    def test_believes_requires_principal(self):
+        with pytest.raises(TermError):
+            Believes(K, P)
+
+    def test_sees_said_says_take_messages(self):
+        assert Sees(A, N).message == N
+        assert Said(A, Not(P)).message == Not(P)
+        assert Says(A, K).message == K
+
+    def test_sharedkey_requires_key(self):
+        with pytest.raises(TermError):
+            SharedKey(A, N, B)
+
+    def test_sharedsecret_takes_any_message(self):
+        assert SharedSecret(A, N, B).secret == N
+
+    def test_has_requires_key(self):
+        with pytest.raises(TermError):
+            Has(A, N)
+
+    def test_controls_requires_formula(self):
+        with pytest.raises(TermError):
+            Controls(A, N)  # type: ignore[arg-type]
+
+    def test_forall_binds_parameter(self):
+        x = Parameter("x", Sort.KEY)
+        f = ForAll(x, SharedKey(A, x, B))
+        assert f.variable == x
+
+    def test_forall_requires_parameter(self):
+        with pytest.raises(TermError):
+            ForAll(K, P)  # type: ignore[arg-type]
+
+
+class TestHelpers:
+    def test_true_false(self):
+        assert TRUE == Truth()
+        assert FALSE == Not(Truth())
+
+    def test_conj_right_associates(self):
+        assert conj([P, Q, TRUE]) == And(P, And(Q, TRUE))
+
+    def test_conj_singleton(self):
+        assert conj([P]) == P
+
+    def test_conj_empty_is_true(self):
+        assert conj([]) == TRUE
+
+    def test_disj(self):
+        assert disj([P, Q]) == Or(P, Q)
+        assert disj([]) == FALSE
+
+    def test_implies_chain(self):
+        f = implies_chain([P, Q], TRUE)
+        assert f == Implies(And(P, Q), TRUE)
+
+    def test_implies_chain_no_premises(self):
+        assert implies_chain([], P) == P
+
+    def test_believes_chain(self):
+        f = believes_chain([A, B], P)
+        assert f == Believes(A, Believes(B, P))
+
+    def test_belief_depth(self):
+        assert belief_depth(P) == 0
+        assert belief_depth(believes_chain([A, B, A], P)) == 3
+
+    def test_strip_beliefs(self):
+        prefix, body = strip_beliefs(believes_chain([A, B], Fresh(N)))
+        assert prefix == (A, B)
+        assert body == Fresh(N)
+
+
+class TestPrinting:
+    def test_atomic_bodies_unparenthesized(self):
+        assert str(Believes(A, Has(A, K))) == "A believes A has K"
+
+    def test_compound_bodies_parenthesized(self):
+        assert str(Believes(A, And(P, Q))) == "A believes (p & q)"
+
+    def test_sharedkey_arrow(self):
+        assert str(SharedKey(A, K, B)) == "A <-K-> B"
+
+    def test_sharedsecret_marker(self):
+        assert str(SharedSecret(A, N, B)) == "A <-N-> B (secret)"
+
+    def test_negation(self):
+        assert str(Not(P)) == "~p"
+        assert str(Not(And(P, Q))) == "~(p & q)"

@@ -1,0 +1,125 @@
+"""Unit tests for compound messages (conditions M3-M6)."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.terms import (
+    Combined,
+    Encrypted,
+    Forwarded,
+    Group,
+    Key,
+    Nonce,
+    Parameter,
+    Principal,
+    SharedKey,
+    Sort,
+    flatten,
+    group,
+    group_parts,
+)
+
+A = Principal("A")
+B = Principal("B")
+K = Key("K")
+N = Nonce("N")
+M = Nonce("M")
+
+
+class TestGroup:
+    def test_group_of_two(self):
+        g = Group((N, M))
+        assert g.parts == (N, M)
+        assert str(g) == "(N, M)"
+
+    def test_group_needs_tuple(self):
+        with pytest.raises(TermError):
+            Group([N, M])  # type: ignore[arg-type]
+
+    def test_group_needs_two_parts(self):
+        with pytest.raises(TermError):
+            Group((N,))
+
+    def test_group_rejects_non_messages(self):
+        with pytest.raises(TermError):
+            Group((N, "M"))  # type: ignore[arg-type]
+
+    def test_group_helper_collapses_singleton(self):
+        assert group(N) is N
+
+    def test_group_helper_builds_group(self):
+        assert group(N, M) == Group((N, M))
+
+    def test_group_helper_rejects_empty(self):
+        with pytest.raises(TermError):
+            group()
+
+    def test_formulas_can_be_grouped(self):
+        """M1: formulas are messages, so they can appear in groups."""
+        g = group(N, SharedKey(A, K, B))
+        assert isinstance(g, Group)
+
+
+class TestEncrypted:
+    def test_fields(self):
+        e = Encrypted(N, K, A)
+        assert (e.body, e.key, e.sender) == (N, K, A)
+
+    def test_str_shows_from_field(self):
+        assert str(Encrypted(N, K, A)) == "{N}_K from A"
+
+    def test_key_position_rejects_nonce(self):
+        with pytest.raises(TermError):
+            Encrypted(N, M, A)
+
+    def test_key_position_accepts_key_parameter(self):
+        param = Parameter("Kp", Sort.KEY)
+        assert Encrypted(N, param, A).key == param
+
+    def test_key_position_rejects_wrong_sorted_parameter(self):
+        with pytest.raises(TermError):
+            Encrypted(N, Parameter("x", Sort.NONCE), A)
+
+    def test_sender_must_be_principal_like(self):
+        with pytest.raises(TermError):
+            Encrypted(N, K, K)
+
+    def test_sender_accepts_principal_parameter(self):
+        param = Parameter("P", Sort.PRINCIPAL)
+        assert Encrypted(N, K, param).sender == param
+
+
+class TestCombined:
+    def test_fields_and_str(self):
+        c = Combined(N, M, A)
+        assert str(c) == "<N>_M from A"
+
+    def test_secret_may_be_any_message(self):
+        assert Combined(N, Group((N, M)), A).secret == Group((N, M))
+
+    def test_sender_checked(self):
+        with pytest.raises(TermError):
+            Combined(N, M, K)
+
+
+class TestForwarded:
+    def test_str_is_quoted(self):
+        assert str(Forwarded(N)) == "'N'"
+
+    def test_body_must_be_message(self):
+        with pytest.raises(TermError):
+            Forwarded("N")  # type: ignore[arg-type]
+
+    def test_nested_forwarding_allowed(self):
+        assert Forwarded(Forwarded(N)).body == Forwarded(N)
+
+
+class TestDecomposition:
+    def test_group_parts_of_group(self):
+        assert group_parts(Group((N, M))) == (N, M)
+
+    def test_group_parts_of_atom(self):
+        assert group_parts(N) == (N,)
+
+    def test_flatten(self):
+        assert flatten([Group((N, M)), K]) == (N, M, K)

@@ -1,0 +1,192 @@
+"""Unit and property tests for structural term operations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TermError
+from repro.terms import (
+    And,
+    Believes,
+    Encrypted,
+    ForAll,
+    Forwarded,
+    Fresh,
+    Group,
+    Key,
+    Nonce,
+    Not,
+    Or,
+    Parameter,
+    Prim,
+    PrimitiveProposition,
+    Principal,
+    Sees,
+    SharedKey,
+    Sort,
+    children,
+    constants_of_sort,
+    depth,
+    free_parameters,
+    has_belief_under_negation,
+    is_ground,
+    is_negation_free,
+    rebuild,
+    size,
+    submessages,
+    submessages_of_all,
+    substitute,
+    transform,
+    walk,
+)
+
+from tests.strategies import messages
+
+A = Principal("A")
+B = Principal("B")
+K = Key("K")
+K2 = Key("K2")
+N = Nonce("N")
+M = Nonce("M")
+P = Prim(PrimitiveProposition("p"))
+
+
+class TestTraversal:
+    def test_children_of_atom(self):
+        assert children(N) == ()
+
+    def test_children_of_group(self):
+        assert children(Group((N, M))) == (N, M)
+
+    def test_children_of_encrypted_include_key_and_sender(self):
+        assert children(Encrypted(N, K, A)) == (N, K, A)
+
+    def test_children_of_sharedkey(self):
+        assert children(SharedKey(A, K, B)) == (A, K, B)
+
+    def test_rebuild_roundtrip(self):
+        term = Encrypted(Group((N, M)), K, A)
+        assert rebuild(term, children(term)) == term
+
+    def test_rebuild_with_replacement(self):
+        term = Group((N, M))
+        assert rebuild(term, (M, N)) == Group((M, N))
+
+    def test_walk_preorder(self):
+        term = Group((N, Encrypted(M, K, A)))
+        nodes = list(walk(term))
+        assert nodes[0] == term
+        assert M in nodes and K in nodes and A in nodes
+
+    def test_transform_bottom_up(self):
+        term = Group((N, M))
+        swapped = transform(term, lambda t: M if t == N else None)
+        assert swapped == Group((M, M))
+
+    @given(messages())
+    @settings(max_examples=60)
+    def test_rebuild_is_inverse_of_children(self, term):
+        assert rebuild(term, children(term)) == term
+
+    @given(messages())
+    @settings(max_examples=60)
+    def test_identity_transform_is_identity(self, term):
+        assert transform(term, lambda t: None) == term
+
+
+class TestSubmessages:
+    def test_submessages_include_self(self):
+        assert N in submessages(N)
+
+    def test_submessages_descend_through_encryption(self):
+        """Freshness is syntactic: the body of a ciphertext is a
+        submessage regardless of who can read it (validates A17)."""
+        term = Encrypted(N, K, A)
+        assert N in submessages(term)
+
+    def test_submessages_of_all(self):
+        subs = submessages_of_all([Group((N, M)), Forwarded(K)])
+        assert {N, M, K} <= set(subs)
+
+    @given(messages())
+    @settings(max_examples=60)
+    def test_submessages_equal_walk_closure(self, term):
+        assert submessages(term) == frozenset(walk(term))
+
+    @given(messages())
+    @settings(max_examples=60)
+    def test_children_are_submessages(self, term):
+        assert set(children(term)) <= set(submessages(term))
+
+    def test_size_and_depth(self):
+        term = Group((N, Encrypted(M, K, A)))
+        assert size(term) == 6
+        assert depth(term) == 3
+        assert depth(N) == 1
+
+
+class TestParameters:
+    x = Parameter("x", Sort.KEY)
+    y = Parameter("y", Sort.NONCE)
+
+    def test_free_parameters(self):
+        term = SharedKey(A, self.x, B)
+        assert free_parameters(term) == {self.x}
+
+    def test_forall_binds(self):
+        term = ForAll(self.x, SharedKey(A, self.x, B))
+        assert free_parameters(term) == frozenset()
+        assert is_ground(term)
+
+    def test_substitute(self):
+        term = SharedKey(A, self.x, B)
+        assert substitute(term, {self.x: K}) == SharedKey(A, K, B)
+
+    def test_substitute_respects_binding(self):
+        term = ForAll(self.x, SharedKey(A, self.x, B))
+        assert substitute(term, {self.x: K}) == term
+
+    def test_substitute_checks_sorts(self):
+        with pytest.raises(TermError):
+            substitute(SharedKey(A, self.x, B), {self.x: N})
+
+    def test_substitute_rejects_compound_values(self):
+        with pytest.raises(TermError):
+            substitute(Fresh(self.y), {self.y: Group((N, M))})
+
+    def test_substitute_is_noop_without_occurrences(self):
+        assert substitute(Fresh(N), {self.x: K}) == Fresh(N)
+
+
+class TestConstants:
+    def test_constants_of_sort(self):
+        term = Encrypted(Group((N, SharedKey(A, K, B))), K2, A)
+        assert constants_of_sort(term, Sort.KEY) == {K, K2}
+        assert constants_of_sort(term, Sort.PRINCIPAL) == {A, B}
+        assert constants_of_sort(term, Sort.NONCE) == {N}
+
+
+class TestI1AndStability:
+    def test_plain_belief_is_fine(self):
+        assert not has_belief_under_negation(Believes(A, P))
+
+    def test_negated_belief_detected(self):
+        assert has_belief_under_negation(Not(Believes(A, P)))
+
+    def test_belief_inside_negated_conjunction_detected(self):
+        assert has_belief_under_negation(Not(And(P, Believes(A, P))))
+
+    def test_belief_under_derived_connectives_detected(self):
+        """Or/Implies/Iff are defined via negation, so the conservative
+        reading of I1 flags them too."""
+        assert has_belief_under_negation(Or(Believes(A, P), P))
+
+    def test_believes_not_is_allowed(self):
+        """'P_i believes K is not a good key' is fine under I1."""
+        assert not has_belief_under_negation(
+            Believes(A, Not(SharedKey(A, K, B)))
+        )
+
+    def test_is_negation_free(self):
+        assert is_negation_free(Believes(A, Sees(B, N)))
+        assert not is_negation_free(Not(P))
+        assert not is_negation_free(Or(P, P))

@@ -1,0 +1,201 @@
+"""Randomized Theorem 2 — and the hidden premise it surfaced.
+
+The paper proves Theorem 2 for every I1-satisfying assumption vector.
+Randomizing over assumption bodies surfaced an *unstated premise* of
+the extended abstract's supporting argument ("Notice that if p holds at
+all time-0 points in G_i, then P_i believes p holds at all time-0
+points of R"): the possibility relation ranges over points at **all**
+times of the good runs, so the argument needs the body's truth to be
+time-invariant within each run (or principals' states to encode the
+time).  A time-varying body such as ``P3 has K2`` — where K2 arrives
+mid-run — gives a counterexample, exhibited below; every example in the
+paper (key goodness, freshness, coin outcomes) is time-invariant, so
+the theorem stands on its intended domain.  See EXPERIMENTS.md (E5).
+
+The property tests therefore draw bodies from the time-invariant
+fragment: ``fresh`` (fixed by the past), shared-key goodness (whole-run
+quantification), and run-level primitive propositions.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.goodruns import InitialAssumptions, construct_good_runs, supports
+from repro.soundness import GeneratorConfig, generate_system
+from repro.terms import (
+    Believes,
+    Formula,
+    Fresh,
+    Has,
+    Prim,
+    SharedKey,
+    Sort,
+)
+
+_SYSTEMS: dict[int, object] = {}
+
+
+def system_for(seed: int):
+    if seed not in _SYSTEMS:
+        _SYSTEMS[seed] = generate_system(
+            GeneratorConfig(seed=seed, runs=3, steps_per_run=8)
+        )
+    return _SYSTEMS[seed]
+
+
+def random_body(system, rng: random.Random) -> Formula:
+    """A belief-free, time-invariant body about the system's vocabulary."""
+    principals = system.principals()
+    keys = system.vocabulary.constants(Sort.KEY)
+    nonces = system.vocabulary.constants(Sort.NONCE)
+    props = system.vocabulary.constants(Sort.PROPOSITION)
+    choices = []
+    if nonces:
+        choices.append(lambda: Fresh(rng.choice(nonces)))
+    if keys:
+        choices.append(
+            lambda: SharedKey(
+                rng.choice(principals), rng.choice(keys),
+                rng.choice(principals)
+            )
+        )
+    if props:
+        choices.append(lambda: Prim(rng.choice(props)))
+    return rng.choice(choices)()
+
+
+def random_assumptions(system, rng: random.Random) -> InitialAssumptions:
+    principals = system.principals()
+    assignment = {}
+    for principal in principals:
+        formulas = []
+        for _ in range(rng.randint(0, 2)):
+            body = random_body(system, rng)
+            formulas.append(Believes(principal, body))
+        if formulas:
+            assignment[principal] = formulas
+    return InitialAssumptions.of(assignment)
+
+
+class TestTheorem2Randomized:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_construction_always_supports(self, seed):
+        rng = random.Random(seed)
+        system = system_for(seed % 6)
+        assumptions = random_assumptions(system, rng)
+        result = construct_good_runs(system, assumptions)
+        assert supports(system, result.vector, assumptions), (
+            f"Theorem 2 violated for seed {seed}: "
+            f"{[str(f) for _p, f in assumptions.all_formulas()]}"
+        )
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_stages_are_antitone(self, seed):
+        """G^0 ⊇ G^1 ⊇ ... — each stratum can only shrink the sets."""
+        rng = random.Random(seed)
+        system = system_for(seed % 6)
+        assumptions = random_assumptions(system, rng)
+        result = construct_good_runs(system, assumptions)
+        for earlier, later in zip(result.stages, result.stages[1:]):
+            assert later.leq(earlier, system)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_shrinking_good_runs_preserves_i1_beliefs(self, seed):
+        """Section 7: 'if P_i believes φ relative to G, then P_i
+        believes φ relative to every G' ≤ G' — monotonicity for
+        I1-satisfying formulas, checked on the constructed vector
+        against its own stages."""
+        from repro.semantics import Evaluator
+
+        rng = random.Random(seed)
+        system = system_for(seed % 6)
+        assumptions = random_assumptions(system, rng)
+        result = construct_good_runs(system, assumptions)
+        bigger = Evaluator(system, result.stages[0])
+        smaller = Evaluator(system, result.vector)
+        for principal, formula in assumptions.all_formulas():
+            for run in system.runs:
+                if bigger.evaluate(formula, run, 0):
+                    assert smaller.evaluate(formula, run, 0)
+
+
+class TestTheorem2HiddenPremise:
+    """The distilled counterexample for time-varying bodies."""
+
+    def test_time_varying_body_defeats_the_notice(self):
+        """``P1 believes (P2 has K)`` where K arrives at time 1: the
+        body holds at every time-0 point, the construction keeps every
+        run, yet the belief fails at time 0 because P1's state also
+        matches *earlier* points where P2 lacked K."""
+        from repro.model import RunBuilder, system_of
+        from repro.semantics import Evaluator
+        from repro.terms import Key, Principal
+
+        p1, p2 = Principal("P1"), Principal("P2")
+        key = Key("K")
+        builder = RunBuilder([p1, p2])
+        builder.newkey(p2, key)
+        builder.mark_epoch()  # K arrives before time 0...
+        builder.idle()
+        run_with = builder.build("acquired")
+
+        builder = RunBuilder([p1, p2], keysets={p2: [key]})
+        builder.idle()
+        builder.mark_epoch()
+        builder.idle()
+        run_initial = builder.build("always-had")
+
+        system = system_of([run_with, run_initial])
+        assumptions = InitialAssumptions.of(
+            {p1: [Believes(p1, Has(p2, key))]}
+        )
+        result = construct_good_runs(system, assumptions)
+        # The body holds at time 0 of both runs, so nothing is pruned:
+        assert result.vector.good_runs(p1) == {"acquired", "always-had"}
+        # ...but the belief fails: P1 cannot exclude the pre-newkey
+        # points of run "acquired", where P2 lacks K.
+        evaluator = Evaluator(system, result.vector)
+        assert not evaluator.evaluate(
+            Believes(p1, Has(p2, key)), run_with, 0
+        )
+        assert not supports(system, result.vector, assumptions)
+
+    def test_time_invariant_bodies_are_fine(self):
+        """The same shape with a run-constant body supports as Theorem 2
+        says (this is the regime of every example in the paper)."""
+        from repro.model import Interpretation, RunBuilder, System
+        from repro.terms import Principal, Vocabulary
+
+        vocabulary = Vocabulary()
+        p1, p2 = vocabulary.principals("P1", "P2")
+        prop = vocabulary.proposition("ok")
+
+        def make_run(name):
+            builder = RunBuilder([p1, p2])
+            builder.newkey(p2, _key())
+            builder.mark_epoch()
+            builder.idle()
+            return builder.build(name)
+
+        system = System(
+            (make_run("r1"), make_run("r2")),
+            Interpretation.from_run_table({prop: ["r1", "r2"]}),
+            vocabulary,
+        )
+        assumptions = InitialAssumptions.of(
+            {p1: [Believes(p1, Prim(prop))]}
+        )
+        result = construct_good_runs(system, assumptions)
+        assert supports(system, result.vector, assumptions)
+
+
+def _key():
+    from repro.terms import Key
+
+    return Key("K")
