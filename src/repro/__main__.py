@@ -11,8 +11,13 @@ Commands
     ``--explain`` also print the derivation tree of a goal, and with
     ``--certify`` compile the goal into a checked Hilbert proof.
 
-``sweep [--systems N] [--instances M] [--seed S]``
-    Run the empirical Theorem 1 soundness sweep (experiment E3).
+``sweep [--systems N] [--instances M] [--seed S] [--workers W]``
+    Run the empirical Theorem 1 soundness sweep (experiment E3);
+    ``--workers`` shards it over a process pool.
+
+``perf [--systems N] [--instances M] [--seed S] [--workers W] [--output PATH]``
+    Time the E3 sweep, print the cache hit/miss table, and write a
+    machine-readable benchmark record (default ``BENCH_sweep.json``).
 
 ``cointoss``
     Walk the Section 7 construction and optimality story (E5-E7).
@@ -97,10 +102,64 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.soundness import generate_systems, sweep_systems
 
     systems = generate_systems(args.systems, base_seed=args.seed)
-    report = sweep_systems(systems, max_instances_per_schema=args.instances)
+    report = sweep_systems(
+        systems,
+        max_instances_per_schema=args.instances,
+        workers=args.workers,
+    )
     print(report.render())
     for violation in report.essential_violations[:10]:
         print(" !", violation)
+    return 0 if not report.essential_violations else 1
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro import perf
+    from repro.soundness import generate_systems, sweep_systems
+
+    with perf.Stopwatch() as generation:
+        systems = generate_systems(args.systems, base_seed=args.seed)
+    perf.reset_counters()
+    with perf.Stopwatch() as cold:
+        report = sweep_systems(
+            systems,
+            max_instances_per_schema=args.instances,
+            workers=args.workers,
+        )
+    # A second, identical sweep shows what the process-global term
+    # caches (interning, ops memos, hide views) buy on a warm process.
+    with perf.Stopwatch() as warm:
+        sweep_systems(
+            systems,
+            max_instances_per_schema=args.instances,
+            workers=args.workers,
+        )
+    print(report.render())
+    print()
+    print(perf.report())
+    print()
+    print(
+        f"generation {generation.seconds:.3f}s | sweep (cold) "
+        f"{cold.seconds:.3f}s | sweep (warm) {warm.seconds:.3f}s"
+    )
+    perf.write_bench_json(
+        args.output,
+        measurements={
+            "generate_systems_s": round(generation.seconds, 6),
+            "sweep_cold_s": round(cold.seconds, 6),
+            "sweep_warm_s": round(warm.seconds, 6),
+            "total_instances": report.total_instances,
+            "total_violations": report.total_violations,
+            "essential_violations": len(report.essential_violations),
+        },
+        parameters={
+            "systems": args.systems,
+            "instances": args.instances,
+            "seed": args.seed,
+            "workers": args.workers,
+        },
+    )
+    print(f"wrote {args.output}")
     return 0 if not report.essential_violations else 1
 
 
@@ -157,6 +216,22 @@ def main(argv: list[str] | None = None) -> int:
     sweep_parser.add_argument("--systems", type=int, default=3)
     sweep_parser.add_argument("--instances", type=int, default=60)
     sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers for the sweep (1 = in-process)",
+    )
+
+    perf_parser = sub.add_parser(
+        "perf", help="time the E3 sweep and dump cache statistics"
+    )
+    perf_parser.add_argument("--systems", type=int, default=3)
+    perf_parser.add_argument("--instances", type=int, default=60)
+    perf_parser.add_argument("--seed", type=int, default=0)
+    perf_parser.add_argument("--workers", type=int, default=1)
+    perf_parser.add_argument(
+        "--output", default="BENCH_sweep.json",
+        help="where to write the machine-readable benchmark record",
+    )
 
     sub.add_parser("cointoss", help="the Section 7 story (E5-E7)")
     sub.add_parser("experiments", help="run all E1-E14 assertions")
@@ -166,6 +241,7 @@ def main(argv: list[str] | None = None) -> int:
         "corpus": _cmd_corpus,
         "analyze": _cmd_analyze,
         "sweep": _cmd_sweep,
+        "perf": _cmd_perf,
         "cointoss": _cmd_cointoss,
         "experiments": _cmd_experiments,
     }

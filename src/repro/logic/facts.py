@@ -23,9 +23,15 @@ from repro.terms.base import Message
 from repro.terms.formulas import And, Believes, Formula, believes_chain
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Fact:
-    """A belief-prefixed formula with conjunctions split away."""
+    """A belief-prefixed formula with conjunctions split away.
+
+    Facts key every fact set and engine agenda, so like the terms they
+    wrap they carry a precomputed hash: the prefix principals and the
+    body are interned terms whose hashes are O(1), and the combined
+    hash is computed once per Fact instead of on every set operation.
+    """
 
     prefix: tuple[Principal, ...]
     body: Formula
@@ -37,6 +43,23 @@ class Fact:
             raise EngineError(
                 f"fact bodies must be prefix/conjunction-normalized, got {self.body}"
             )
+        object.__setattr__(self, "_hash", hash((Fact, self.prefix, self.body)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return self.prefix == other.prefix and self.body == other.body
+
+    def __reduce__(self):
+        # Rebuild through the constructor so the cached hash is
+        # recomputed in the receiving process (string hashing is
+        # per-process randomized).
+        return (Fact, (self.prefix, self.body))
 
     @property
     def depth(self) -> int:

@@ -34,16 +34,35 @@ from __future__ import annotations
 
 from typing import AbstractSet, Iterable
 
+from repro import perf
 from repro.terms.atoms import Key, decryption_key
 from repro.terms.base import Message
 from repro.terms.messages import Combined, Encrypted, Forwarded, Group
 
+#: Memo for :func:`seen_submsgs`: ``(term, key set) -> components``.
+#: Keyed on interned terms (O(1) hash) and frozenset key sets; one
+#: message received by many principals at many times resolves to one
+#: dict lookup per distinct key set.
+_SEEN_MEMO: dict[tuple[Message, frozenset], frozenset[Message]] = {}
+
+perf.register_cache("seen_submsgs", _SEEN_MEMO.clear, lambda: len(_SEEN_MEMO))
+
 
 def seen_submsgs(keys: AbstractSet[Key], message: Message) -> frozenset[Message]:
     """The components of ``message`` readable with the given key set."""
+    if not isinstance(keys, frozenset):
+        keys = frozenset(keys)
+    memo_key = (message, keys)
+    cached = _SEEN_MEMO.get(memo_key)
+    if cached is not None:
+        perf.count("seen_submsgs.hit")
+        return cached
+    perf.count("seen_submsgs.miss")
     out: set[Message] = set()
     _seen_into(keys, message, out)
-    return frozenset(out)
+    cached = frozenset(out)
+    _SEEN_MEMO[memo_key] = cached
+    return cached
 
 
 def _seen_into(keys: AbstractSet[Key], message: Message, out: set[Message]) -> None:
@@ -71,7 +90,7 @@ def seen_submsgs_all(
     """Extension of ``seen_submsgs`` to a set of messages (Section 5)."""
     out: set[Message] = set()
     for message in messages:
-        _seen_into(keys, message, out)
+        out.update(seen_submsgs(keys, message))
     return frozenset(out)
 
 

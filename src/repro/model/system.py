@@ -20,6 +20,42 @@ Point = tuple[Run, int]
 
 _PredicateFn = Callable[[PrimitiveProposition, Run, int], bool]
 
+_EMPTY_POINTS: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class _FalseEverywhere:
+    """The default predicate: every proposition false at every point."""
+
+    def __call__(self, prop: PrimitiveProposition, run: Run, k: int) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class _PointTablePredicate:
+    """Truth table keyed by (run name, time) pairs."""
+
+    table: tuple[tuple[PrimitiveProposition, frozenset[tuple[str, int]]], ...]
+
+    def __call__(self, prop: PrimitiveProposition, run: Run, k: int) -> bool:
+        for entry_prop, points in self.table:
+            if entry_prop == prop:
+                return (run.name, k) in points
+        return False
+
+
+@dataclass(frozen=True)
+class _RunTablePredicate:
+    """Run-level truth table keyed by run names."""
+
+    table: tuple[tuple[PrimitiveProposition, frozenset[str]], ...]
+
+    def __call__(self, prop: PrimitiveProposition, run: Run, k: int) -> bool:
+        for entry_prop, names in self.table:
+            if entry_prop == prop:
+                return run.name in names
+        return False
+
 
 @dataclass(frozen=True)
 class Interpretation:
@@ -28,9 +64,15 @@ class Interpretation:
     Wraps a predicate ``(proposition, run, k) -> bool``; constructors
     cover the common cases.  The default interpretation makes every
     primitive proposition false everywhere.
+
+    The built-in constructors produce *picklable* predicates (plain
+    data, no closures), which is what lets the parallel soundness sweep
+    ship whole systems to worker processes.  ``from_predicate`` still
+    accepts arbitrary callables; such interpretations simply force the
+    sweep back onto its in-process path.
     """
 
-    predicate: _PredicateFn = field(default=lambda prop, run, k: False)
+    predicate: _PredicateFn = field(default_factory=_FalseEverywhere)
 
     def holds(self, proposition: PrimitiveProposition, run: Run, k: int) -> bool:
         return bool(self.predicate(proposition, run, k))
@@ -45,12 +87,10 @@ class Interpretation:
         cls, table: Mapping[PrimitiveProposition, Iterable[tuple[str, int]]]
     ) -> "Interpretation":
         """Explicit truth table keyed by (run name, time) pairs."""
-        frozen = {prop: frozenset(points) for prop, points in table.items()}
-
-        def predicate(prop: PrimitiveProposition, run: Run, k: int) -> bool:
-            return (run.name, k) in frozen.get(prop, frozenset())
-
-        return cls(predicate)
+        frozen = tuple(
+            (prop, frozenset(points)) for prop, points in table.items()
+        )
+        return cls(_PointTablePredicate(frozen))
 
     @classmethod
     def from_run_table(
@@ -58,12 +98,10 @@ class Interpretation:
     ) -> "Interpretation":
         """Run-level truth: the proposition holds at every point of the
         named runs (useful for stable facts like a coin-toss outcome)."""
-        frozen = {prop: frozenset(names) for prop, names in table.items()}
-
-        def predicate(prop: PrimitiveProposition, run: Run, k: int) -> bool:
-            return run.name in frozen.get(prop, frozenset())
-
-        return cls(predicate)
+        frozen = tuple(
+            (prop, frozenset(names)) for prop, names in table.items()
+        )
+        return cls(_RunTablePredicate(frozen))
 
     @classmethod
     def from_predicate(cls, predicate: _PredicateFn) -> "Interpretation":

@@ -1,0 +1,152 @@
+"""Performance counters and cache registry for the hot paths.
+
+Every memoization layer in the library — the term intern tables
+(:mod:`repro.terms.intern`), the structural-operation memos
+(:mod:`repro.terms.ops`), the ``hide`` view memo
+(:mod:`repro.semantics.hide`), the ``seen_submsgs`` memo
+(:mod:`repro.model.submsgs`), and the evaluator's truth memo
+(:mod:`repro.semantics.evaluator`) — reports hits and misses here, so
+that one snapshot shows where a workload's time is going and whether
+the caches are actually earning their keep.
+
+The module is deliberately dependency-free (it must be importable from
+the bottom of the stack) and the counters are plain dict increments:
+cheap enough to leave on permanently.
+
+Usage::
+
+    from repro import perf
+    perf.reset_counters()
+    ...  # run a workload
+    print(perf.report())
+
+``clear_caches()`` empties every registered cache (intern tables, memo
+dicts) — useful for measuring cold-vs-warm behaviour and for bounding
+memory in long-lived processes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Mapping
+
+#: Flat counter table: ``"layer.event" -> count``.  Layers use
+#: ``hit``/``miss`` suffixes so :func:`hit_rates` can pair them up.
+counters: dict[str, int] = {}
+
+#: Registered cache-clearing callbacks, keyed by cache name.
+_cache_clearers: dict[str, Callable[[], None]] = {}
+
+#: Registered cache-size probes, keyed by cache name.
+_cache_sizers: dict[str, Callable[[], int]] = {}
+
+
+def count(event: str, n: int = 1) -> None:
+    """Increment a counter (creates it on first use)."""
+    counters[event] = counters.get(event, 0) + n
+
+
+def reset_counters() -> None:
+    """Zero every counter without touching the caches themselves."""
+    counters.clear()
+
+
+def register_cache(
+    name: str, clearer: Callable[[], None], sizer: Callable[[], int]
+) -> None:
+    """Register a cache so ``clear_caches``/``cache_sizes`` can see it."""
+    _cache_clearers[name] = clearer
+    _cache_sizers[name] = sizer
+
+
+def clear_caches() -> None:
+    """Empty every registered cache (intern tables, memo dicts)."""
+    for clearer in _cache_clearers.values():
+        clearer()
+
+
+def cache_sizes() -> dict[str, int]:
+    """Current entry count of every registered cache."""
+    return {name: sizer() for name, sizer in _cache_sizers.items()}
+
+
+def snapshot() -> dict[str, Any]:
+    """Counters plus cache sizes, as one plain-dict snapshot."""
+    return {"counters": dict(counters), "cache_sizes": cache_sizes()}
+
+
+def hit_rates() -> dict[str, float]:
+    """Hit rate per layer, from paired ``<layer>.hit``/``<layer>.miss``."""
+    rates: dict[str, float] = {}
+    for event, hits in counters.items():
+        if not event.endswith(".hit"):
+            continue
+        layer = event[: -len(".hit")]
+        misses = counters.get(layer + ".miss", 0)
+        total = hits + misses
+        if total:
+            rates[layer] = hits / total
+    return rates
+
+
+def report() -> str:
+    """Human-readable counter/cache summary (the ``perf`` CLI body)."""
+    lines = ["layer                          hits      misses    hit-rate"]
+    lines.append("-" * len(lines[0]))
+    layers = sorted(
+        {e.rsplit(".", 1)[0] for e in counters if e.endswith((".hit", ".miss"))}
+    )
+    for layer in layers:
+        hits = counters.get(layer + ".hit", 0)
+        misses = counters.get(layer + ".miss", 0)
+        total = hits + misses
+        rate = f"{hits / total:8.1%}" if total else "     n/a"
+        lines.append(f"{layer:<28} {hits:>9} {misses:>11} {rate:>11}")
+    other = {
+        e: n for e, n in sorted(counters.items())
+        if not e.endswith((".hit", ".miss"))
+    }
+    for event, n in other.items():
+        lines.append(f"{event:<28} {n:>9}")
+    sizes = cache_sizes()
+    if sizes:
+        lines.append("")
+        lines.append("cache sizes: " + ", ".join(
+            f"{name}={size}" for name, size in sorted(sizes.items())
+        ))
+    return "\n".join(lines)
+
+
+class Stopwatch:
+    """Tiny wall-clock timer for the benchmark harness."""
+
+    def __enter__(self) -> "Stopwatch":
+        self.start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.seconds = time.perf_counter() - self.start
+
+
+def write_bench_json(
+    path: str,
+    measurements: Mapping[str, Any],
+    parameters: Mapping[str, Any] | None = None,
+) -> None:
+    """Write a machine-readable benchmark record (``BENCH_sweep.json``).
+
+    The file is a single JSON object: ``parameters`` echoes the workload
+    knobs, ``measurements`` holds named timings (seconds) and counts,
+    and ``perf`` embeds the counter snapshot so regressions in cache
+    behaviour are visible alongside the timings.
+    """
+    record = {
+        "parameters": dict(parameters or {}),
+        "measurements": dict(measurements),
+        "perf": snapshot(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")

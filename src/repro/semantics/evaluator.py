@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro import perf
 from repro.errors import SemanticsError
 from repro.model.runs import Run
 from repro.model.submsgs import said_submsgs, seen_submsgs_all
@@ -45,7 +46,7 @@ from repro.terms.formulas import (
     Truth,
 )
 from repro.terms.messages import Combined, Encrypted
-from repro.terms.ops import free_parameters, submessages_of_all, substitute
+from repro.terms.ops import free_parameters, is_ground, submessages_of_all, substitute
 
 
 class Evaluator:
@@ -75,15 +76,38 @@ class Evaluator:
         self._said: dict[tuple[Principal, str], tuple[tuple[int, frozenset], ...]] = {}
         self._seen: dict[tuple[Principal, str, int], frozenset] = {}
         self._past: dict[str, frozenset] = {}
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     # -- public API -------------------------------------------------------------
+
+    def cache_stats(self) -> dict[str, int]:
+        """Sizes and hit counts of this evaluator's internal memo tables.
+
+        The truth memo (``memo_*``) is per-evaluator; the term-level
+        caches (interning, ops, hide) are process-global — see
+        :func:`repro.perf.snapshot` for those.
+        """
+        return {
+            "memo_entries": len(self._memo),
+            "memo_hits": self._memo_hits,
+            "memo_misses": self._memo_misses,
+            "hidden_views": len(self._hidden),
+            "possible_indexes": len(self._possible),
+            "said_entries": len(self._said),
+            "seen_sets": len(self._seen),
+            "past_submsg_sets": len(self._past),
+        }
 
     def evaluate(self, formula: Formula, run: Run, k: int) -> bool:
         """``(r, k) |= φ`` after substituting the run's parameter values."""
         if not isinstance(formula, Formula):
             raise SemanticsError(f"cannot evaluate non-formula {formula!r}")
-        parameters = free_parameters(formula)
-        if parameters:
+        # Ground formulas — the common case in the soundness sweep — skip
+        # the substitution machinery entirely; ``is_ground`` is an O(1)
+        # memoized attribute of the interned term, not a term walk.
+        if not is_ground(formula):
+            parameters = free_parameters(formula)
             assignment = {
                 parameter: run.param_map[parameter]
                 for parameter in parameters
@@ -110,7 +134,11 @@ class Evaluator:
         key = (formula, run.name, k)
         cached = self._memo.get(key)
         if cached is not None:
+            self._memo_hits += 1
+            perf.count("eval_memo.hit")
             return cached
+        self._memo_misses += 1
+        perf.count("eval_memo.miss")
         value = self._eval_uncached(formula, run, k)
         self._memo[key] = value
         return value

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import AbstractSet
 
+from repro import perf
 from repro.model.actions import Action, Internal, NewKey, Receive, Send
 from repro.model.runs import Run
 from repro.terms.atoms import Key, Nonce, Opaque, Principal, decryption_key
@@ -34,6 +35,16 @@ OPAQUE = Opaque()
 HiddenView = tuple
 
 
+#: Memo for :func:`hide_message`: ``(term, key set) -> hidden term``.
+#: Terms are interned and key sets are frozensets, so both hash in O(1)
+#: (after the first frozenset hash, which Python caches internally);
+#: the same message re-hidden at every time step of every run costs one
+#: dict lookup after the first computation.
+_HIDE_MEMO: dict[tuple[Message, frozenset], Message] = {}
+
+perf.register_cache("hide", _HIDE_MEMO.clear, lambda: len(_HIDE_MEMO))
+
+
 def hide_message(keys: AbstractSet[Key], message: Message) -> Message:
     """Blind every ciphertext not decryptable with ``keys``.
 
@@ -43,18 +54,34 @@ def hide_message(keys: AbstractSet[Key], message: Message) -> Message:
     combinations ``(X)_Y`` whose bits are visible even when the secret
     is not recognized, are traversed structurally.
     """
+    if not isinstance(keys, frozenset):
+        keys = frozenset(keys)
+    return _hide_memoized(keys, message)
+
+
+def _hide_memoized(keys: frozenset, message: Message) -> Message:
+    memo_key = (message, keys)
+    cached = _HIDE_MEMO.get(memo_key)
+    if cached is not None:
+        perf.count("hide.hit")
+        return cached
+    perf.count("hide.miss")
     if isinstance(message, Encrypted):
         if decryption_key(message.key) not in keys:
-            return OPAQUE
-        body = hide_message(keys, message.body)
-        if body is message.body:
-            return message
-        return Encrypted(body, message.key, message.sender)
-    kids = children(message)
-    new_kids = tuple(hide_message(keys, kid) for kid in kids)
-    if new_kids == kids:
-        return message
-    return rebuild(message, new_kids)
+            hidden: Message = OPAQUE
+        else:
+            body = _hide_memoized(keys, message.body)
+            hidden = (
+                message
+                if body is message.body
+                else Encrypted(body, message.key, message.sender)
+            )
+    else:
+        kids = children(message)
+        new_kids = tuple(_hide_memoized(keys, kid) for kid in kids)
+        hidden = message if new_kids == kids else rebuild(message, new_kids)
+    _HIDE_MEMO[memo_key] = hidden
+    return hidden
 
 
 def hide_message_pattern(

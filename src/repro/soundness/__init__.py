@@ -19,6 +19,8 @@ from repro.soundness.incompleteness import (
     incompleteness_formula,
 )
 from repro.soundness.sweep import (
+    DEFAULT_MAX_INSTANCES_PER_SCHEMA,
+    DEFAULT_MAX_VIOLATIONS_PER_SCHEMA,
     SchemaReport,
     SweepReport,
     ViolationRecord,
@@ -40,6 +42,8 @@ __all__ = [
     "IncompletenessResult",
     "check_incompleteness",
     "incompleteness_formula",
+    "DEFAULT_MAX_INSTANCES_PER_SCHEMA",
+    "DEFAULT_MAX_VIOLATIONS_PER_SCHEMA",
     "SchemaReport",
     "SweepReport",
     "ViolationRecord",

@@ -16,8 +16,12 @@ system principals.
 from __future__ import annotations
 
 import itertools
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
+from repro import perf
 from repro.logic.axioms import AXIOMS, InstancePool, Schema
 from repro.logic.rules import transparent
 from repro.model.actions import Send
@@ -208,20 +212,59 @@ class SweepReport:
         return "\n".join(lines)
 
 
+#: One shared default for how many instances of each schema to check.
+#: (``sweep_system`` and ``sweep_systems`` historically disagreed,
+#: 400 vs 200; everything now goes through this constant.)
+DEFAULT_MAX_INSTANCES_PER_SCHEMA = 400
+
+#: Default cap on recorded (not counted) violations per schema.
+DEFAULT_MAX_VIOLATIONS_PER_SCHEMA = 25
+
+
 def sweep_system(
     system: System,
     schemas: tuple[Schema, ...] | None = None,
     goodruns: GoodRunVector | None = None,
-    max_instances_per_schema: int = 400,
+    max_instances_per_schema: int = DEFAULT_MAX_INSTANCES_PER_SCHEMA,
     pattern_hide: bool = False,
-    max_violations_per_schema: int = 25,
+    max_violations_per_schema: int = DEFAULT_MAX_VIOLATIONS_PER_SCHEMA,
+    workers: int = 1,
 ) -> SweepReport:
-    """Model-check every schema instance at every point of one system."""
+    """Model-check every schema instance at every point of one system.
+
+    With ``workers > 1`` the schemas are sharded across a process pool
+    (each worker evaluates a contiguous slice of the schema list over
+    the whole system); the merged report is identical to the in-process
+    one.  Falls back to the in-process path when the system cannot be
+    shipped to workers (e.g. a closure-based interpretation).
+    """
+    resolved = tuple(schemas) if schemas is not None else tuple(AXIOMS.values())
+    if workers > 1:
+        report = _sweep_parallel(
+            (system,), resolved, goodruns, max_instances_per_schema,
+            pattern_hide, max_violations_per_schema, workers,
+        )
+        if report is not None:
+            return report
+    return _sweep_in_process(
+        system, resolved, goodruns, max_instances_per_schema,
+        pattern_hide, max_violations_per_schema,
+    )
+
+
+def _sweep_in_process(
+    system: System,
+    schemas: tuple[Schema, ...],
+    goodruns: GoodRunVector | None,
+    max_instances_per_schema: int,
+    pattern_hide: bool,
+    max_violations_per_schema: int,
+) -> SweepReport:
     evaluator = Evaluator(system, goodruns, pattern_hide=pattern_hide)
     pool = pool_from_system(system)
     report = SweepReport()
     points = tuple(system.points())
-    for schema in schemas or tuple(AXIOMS.values()):
+    for schema in schemas:
         schema_report = report.schema_report(schema.name)
         instances = itertools.islice(
             schema.instances(pool), max_instances_per_schema
@@ -267,20 +310,139 @@ def _record(
 
 
 def sweep_systems(
-    systems,
+    systems: Iterable[System],
     schemas: tuple[Schema, ...] | None = None,
-    max_instances_per_schema: int = 200,
+    goodruns: GoodRunVector | None = None,
+    max_instances_per_schema: int = DEFAULT_MAX_INSTANCES_PER_SCHEMA,
     pattern_hide: bool = False,
+    max_violations_per_schema: int = DEFAULT_MAX_VIOLATIONS_PER_SCHEMA,
+    workers: int = 1,
 ) -> SweepReport:
-    """Merge sweeps over several systems (the E3 experiment driver)."""
+    """Merge sweeps over several systems (the E3 experiment driver).
+
+    All knobs — including ``goodruns`` and ``max_violations_per_schema``
+    — are forwarded to every per-system sweep.  With ``workers > 1``
+    the (system × schema-slice) shards run on a process pool; reports
+    are merged in deterministic shard order, so the result (and its
+    render) is identical to ``workers=1``.
+    """
+    systems = tuple(systems)
+    resolved = tuple(schemas) if schemas is not None else tuple(AXIOMS.values())
+    if workers > 1:
+        report = _sweep_parallel(
+            systems, resolved, goodruns, max_instances_per_schema,
+            pattern_hide, max_violations_per_schema, workers,
+        )
+        if report is not None:
+            return report
     total = SweepReport()
     for system in systems:
         total.merge(
-            sweep_system(
-                system,
-                schemas=schemas,
-                max_instances_per_schema=max_instances_per_schema,
-                pattern_hide=pattern_hide,
+            _sweep_in_process(
+                system, resolved, goodruns, max_instances_per_schema,
+                pattern_hide, max_violations_per_schema,
             )
         )
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Parallel sharding
+# ---------------------------------------------------------------------------
+
+
+def _schema_names(schemas: Sequence[Schema]) -> tuple[str, ...] | None:
+    """Map schemas to registry names, or None if any is unregistered.
+
+    Workers re-resolve schemas from :data:`repro.logic.axioms.AXIOMS` by
+    name, because a ``Schema`` carries arbitrary callables that may not
+    survive pickling; a custom schema object outside the registry simply
+    keeps the sweep on the in-process path.
+    """
+    names = []
+    for schema in schemas:
+        if AXIOMS.get(schema.name) is not schema:
+            return None
+        names.append(schema.name)
+    return tuple(names)
+
+
+def _slice_names(
+    names: tuple[str, ...], slices: int
+) -> tuple[tuple[str, ...], ...]:
+    """Split the schema list into at most ``slices`` contiguous groups."""
+    slices = max(1, min(slices, len(names)))
+    quotient, remainder = divmod(len(names), slices)
+    out = []
+    start = 0
+    for index in range(slices):
+        width = quotient + (1 if index < remainder else 0)
+        out.append(names[start:start + width])
+        start += width
+    return tuple(out)
+
+
+def _sweep_shard(
+    system: System,
+    schema_names: tuple[str, ...],
+    goodruns: GoodRunVector | None,
+    max_instances_per_schema: int,
+    pattern_hide: bool,
+    max_violations_per_schema: int,
+) -> SweepReport:
+    """Worker entry point: one system, one contiguous slice of schemas."""
+    schemas = tuple(AXIOMS[name] for name in schema_names)
+    return _sweep_in_process(
+        system, schemas, goodruns, max_instances_per_schema,
+        pattern_hide, max_violations_per_schema,
+    )
+
+
+def _sweep_parallel(
+    systems: tuple[System, ...],
+    schemas: tuple[Schema, ...],
+    goodruns: GoodRunVector | None,
+    max_instances_per_schema: int,
+    pattern_hide: bool,
+    max_violations_per_schema: int,
+    workers: int,
+) -> SweepReport | None:
+    """Shard (system × schema slice) over a process pool.
+
+    Returns None when the workload cannot be parallelized safely — the
+    schemas are unregistered, the systems do not pickle, or the platform
+    refuses to spawn workers — in which case the caller falls back to
+    the in-process sweep.
+    """
+    names = _schema_names(schemas)
+    if not systems or names is None or not names:
+        return None
+    try:
+        pickle.dumps((systems, goodruns))
+    except Exception:
+        return None
+    slices = _slice_names(names, max(1, workers // len(systems)))
+    shards = [
+        (system, group) for system in systems for group in slices
+    ]
+    perf.count("sweep.parallel_shards", len(shards))
+    total = SweepReport()
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as pool:
+            futures = [
+                pool.submit(
+                    _sweep_shard, system, group, goodruns,
+                    max_instances_per_schema, pattern_hide,
+                    max_violations_per_schema,
+                )
+                for system, group in shards
+            ]
+            # Merge in submission order: (system, schema-slice) order
+            # matches the sequential sweep, so totals, violation lists,
+            # and renders are identical to workers=1.
+            for future in futures:
+                total.merge(future.result())
+    except (OSError, PermissionError):
+        # No subprocess support on this platform/sandbox.
+        return None
     return total

@@ -60,7 +60,7 @@ class Sort(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Atom(Message):
     """Common base class for primitive terms (condition M2).
 
@@ -82,7 +82,7 @@ class Atom(Message):
         return self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Principal(Atom):
     """A principal constant: a person, computer, or server."""
 
@@ -91,7 +91,7 @@ class Principal(Atom):
         return Sort.PRINCIPAL
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Key(Atom):
     """A shared encryption key constant."""
 
@@ -100,7 +100,7 @@ class Key(Atom):
         return Sort.KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PublicKey(Key):
     """The public half of a key pair (the Section 8 / full-paper
     public-key extension, treated "as in [BAN89]").
@@ -116,7 +116,7 @@ class PublicKey(Key):
         return PrivateKey(self.name)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PrivateKey(Key):
     """The private half of a key pair; see :class:`PublicKey`.
 
@@ -144,7 +144,7 @@ def decryption_key(key: "Key") -> "Key":
     return key
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Nonce(Atom):
     """A data constant: a nonce, timestamp, or other uninterpreted datum.
 
@@ -157,7 +157,7 @@ class Nonce(Atom):
         return Sort.NONCE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PrimitiveProposition(Atom):
     """A primitive proposition constant (condition F1).
 
@@ -171,7 +171,7 @@ class PrimitiveProposition(Atom):
         return Sort.PROPOSITION
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Parameter(Message):
     """A schematic symbol whose value is fixed per run (Section 8).
 
@@ -194,7 +194,7 @@ class Parameter(Message):
         return f"?{self.name}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Opaque(Message):
     """The ``⊥`` placeholder for an unreadable ciphertext.
 

@@ -17,15 +17,25 @@ mirrored directly in the class hierarchy::
 All nodes are frozen dataclasses: structurally immutable, hashable, and
 compared by value, which is exactly what a symbolic term language needs
 (sub-message sets, fact sets, and memo tables all key on terms).
+
+Terms are additionally *hash-consed* (:mod:`repro.terms.intern`): the
+constructors return one canonical instance per structurally-distinct
+term, every node carries a precomputed hash, and ``==`` is usually a
+pointer comparison.  Subclasses must therefore be declared with
+``@dataclass(frozen=True, eq=False)`` so they inherit the cached
+``__hash__``/``__eq__`` defined here instead of regenerating the
+field-walking versions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.terms.intern import InternMeta, intern_key, reconstruct
 
-@dataclass(frozen=True)
-class Message:
+
+@dataclass(frozen=True, eq=False)
+class Message(metaclass=InternMeta):
     """A message of the language ``M_T`` (Section 4.1).
 
     Subclasses implement ``__str__`` to render the paper's notation.
@@ -38,3 +48,32 @@ class Message:
         from repro.terms.formulas import Formula
 
         return isinstance(self, Formula)
+
+    # -- interned identity ---------------------------------------------------
+
+    def __hash__(self) -> int:
+        # Set once by InternMeta; the getattr fallback covers instances
+        # created behind the constructor's back (e.g. by copy protocols).
+        h = getattr(self, "_hash", None)
+        if h is None:
+            h = hash(intern_key(self))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not type(self):
+            # Exact-type equality, matching the dataclass-generated
+            # semantics this replaces (Key("a") != PublicKey("a")).
+            return NotImplemented if not isinstance(other, Message) else False
+        # Same type but different objects: only possible for terms that
+        # bypassed interning (unpickled mid-flight, copied).  Compare
+        # structurally so correctness never depends on interning.
+        return intern_key(self)[1:] == intern_key(other)[1:]
+
+    def __reduce__(self):
+        # Rebuild through the constructor so unpickled terms re-intern
+        # (and recompute their per-process structural hash).
+        key = intern_key(self)
+        return (reconstruct, (key[0], key[1:]))

@@ -35,7 +35,7 @@ from repro.terms.messages import (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Formula(Message):
     """A formula of ``F_T``.  Every formula is a message (condition M1)."""
 
@@ -50,7 +50,7 @@ def _require_formula(value: object, role: str) -> None:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Prim(Formula):
     """A primitive proposition used as a formula (F1)."""
 
@@ -64,7 +64,7 @@ class Prim(Formula):
         return self.atom.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Truth(Formula):
     """The constant true formula.
 
@@ -77,7 +77,7 @@ class Truth(Formula):
         return "true"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Not(Formula):
     """Negation (F2)."""
 
@@ -90,7 +90,7 @@ class Not(Formula):
         return f"~{_wrap(self.body)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class And(Formula):
     """Binary conjunction (F2)."""
 
@@ -105,7 +105,7 @@ class And(Formula):
         return f"{_wrap(self.left)} & {_wrap(self.right)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Or(Formula):
     """Disjunction; definable as ``~(~p & ~q)`` and given that semantics."""
 
@@ -120,7 +120,7 @@ class Or(Formula):
         return f"{_wrap(self.left)} | {_wrap(self.right)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Implies(Formula):
     """Implication; definable as ``~(p & ~q)`` and given that semantics."""
 
@@ -135,7 +135,7 @@ class Implies(Formula):
         return f"{_wrap(self.antecedent)} -> {_wrap(self.consequent)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Iff(Formula):
     """Biconditional; definable from ``&`` and ``->``."""
 
@@ -155,7 +155,7 @@ class Iff(Formula):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Believes(Formula):
     """``P believes φ`` (F3).
 
@@ -176,7 +176,7 @@ class Believes(Formula):
         return f"{self.principal} believes {_wrap(self.body)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Controls(Formula):
     """``P controls φ`` (F3): P has jurisdiction over φ.
 
@@ -196,7 +196,7 @@ class Controls(Formula):
         return f"{self.principal} controls {_wrap(self.body)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Sees(Formula):
     """``P sees X`` (F4): P received a message with readable component X."""
 
@@ -211,7 +211,7 @@ class Sees(Formula):
         return f"{self.principal} sees {_wrap_msg(self.message)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Said(Formula):
     """``P said X`` (F4): P sent a message containing the component X.
 
@@ -232,7 +232,7 @@ class Said(Formula):
         return f"{self.principal} said {_wrap_msg(self.message)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Says(Formula):
     """``P says X`` (F4): P sent X *in the present epoch* (Section 3.2).
 
@@ -252,7 +252,7 @@ class Says(Formula):
         return f"{self.principal} says {_wrap_msg(self.message)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class SharedSecret(Formula):
     """``P <-X-> Q`` (F5): X is a shared secret between P and Q.
 
@@ -274,7 +274,7 @@ class SharedSecret(Formula):
         return f"{self.left} <-{self.secret}-> {self.right} (secret)"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class SharedKey(Formula):
     """``P <-K-> Q`` (F6): K is a shared key for P and Q.
 
@@ -296,7 +296,7 @@ class SharedKey(Formula):
         return f"{self.left} <-{self.key}-> {self.right}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PublicKeyOf(Formula):
     """``pk(P, K)`` — K is P's public key (BAN89's "→K P").
 
@@ -317,7 +317,7 @@ class PublicKeyOf(Formula):
         return f"pk({self.principal}, {self.key})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Fresh(Formula):
     """``fresh(X)`` (F7): X is not a submessage of any past message."""
 
@@ -330,7 +330,7 @@ class Fresh(Formula):
         return f"fresh({self.message})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Has(Formula):
     """``P has K`` (F8): the key K is in P's key set.
 
@@ -350,7 +350,7 @@ class Has(Formula):
         return f"{self.principal} has {self.key}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ForAll(Formula):
     """``∀x. φ`` — universal quantification over constants (Section 8).
 

@@ -1,0 +1,96 @@
+"""Hash-consing for the term language (maximal structural sharing).
+
+Every term constructor routes through :class:`InternMeta`, which keeps
+one canonical instance per structurally-distinct term in a weak intern
+table.  The payoff, for a symbolic workload whose memo tables all key
+on terms, is threefold:
+
+* **O(1) hashing** — each node carries a precomputed ``_hash``, so a
+  dict lookup on a deep formula no longer re-walks the tree;
+* **identity-fast equality** — within a process, structurally equal
+  terms *are* the same object, so ``==`` is usually a pointer compare;
+* **O(1) structural memoization** — derived attributes (submessage
+  sets, free parameters, sizes) can be cached directly on the canonical
+  node (:mod:`repro.terms.ops`), shared by every context that mentions
+  the term.
+
+This is the same technique industrial symbolic engines use for their
+term DAGs (hash-consed facts in multiset-rewriting checkers, shared
+BDD nodes in model checkers).
+
+Interning survives pickling: ``Message.__reduce__`` rebuilds terms
+through their constructors, so terms arriving from a worker process
+(the parallel soundness sweep) are re-interned — and re-hashed, which
+matters because Python string hashing is per-process randomized.
+
+The table holds *weak* references: terms no longer referenced anywhere
+else are garbage-collected normally, so long-lived processes do not
+accumulate every term they ever built.  ``repro.perf.clear_caches()``
+empties the table explicitly.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import fields
+from typing import Any
+
+from repro import perf
+
+#: The global intern table: structural key -> canonical instance.
+_TABLE: "weakref.WeakValueDictionary[tuple, Any]" = weakref.WeakValueDictionary()
+
+#: Per-class tuple of field names, computed once per dataclass.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+perf.register_cache("intern", _TABLE.clear, lambda: len(_TABLE))
+
+
+def _field_names(cls: type) -> tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
+class InternMeta(type):
+    """Metaclass interning every instance of the term dataclasses.
+
+    ``cls(...)`` constructs (and validates, via ``__post_init__``) a
+    candidate instance, then returns the canonical instance for its
+    structural key, creating one if needed.  The structural hash is
+    computed exactly once, here, and stored on the instance.
+    """
+
+    def __call__(cls, *args: Any, **kwargs: Any) -> Any:
+        obj = super().__call__(*args, **kwargs)
+        key = (cls, *(getattr(obj, name) for name in _field_names(cls)))
+        canonical = _TABLE.get(key)
+        if canonical is not None:
+            perf.count("intern.hit")
+            return canonical
+        perf.count("intern.miss")
+        object.__setattr__(obj, "_hash", hash(key))
+        _TABLE[key] = obj
+        return obj
+
+
+def intern_key(obj: Any) -> tuple:
+    """The structural identity of a term: ``(class, *field values)``."""
+    cls = type(obj)
+    return (cls, *(getattr(obj, name) for name in _field_names(cls)))
+
+
+def reconstruct(cls: type, values: tuple) -> Any:
+    """Pickle helper: rebuild (and so re-intern) a term from its fields."""
+    return cls(*values)
+
+
+def intern_stats() -> dict[str, int]:
+    """Size of the intern table plus its hit/miss counters."""
+    return {
+        "size": len(_TABLE),
+        "hits": perf.counters.get("intern.hit", 0),
+        "misses": perf.counters.get("intern.miss", 0),
+    }

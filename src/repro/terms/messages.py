@@ -50,7 +50,7 @@ def _require_principal_like(value: object, role: str) -> None:
     )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Group(Message):
     """``(X1, ..., Xk)`` — messages combined by concatenation (M3).
 
@@ -91,7 +91,7 @@ def group(*parts: Message) -> Message:
     return Group(tuple(parts))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Encrypted(Message):
     """``{X^P}_K`` — the message X encrypted under K, from field P (M4).
 
@@ -114,7 +114,7 @@ class Encrypted(Message):
         return f"{{{self.body}}}_{self.key} from {self.sender}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Combined(Message):
     """``(X^P)_Y`` — X combined with the secret Y, from field P (M5).
 
@@ -138,7 +138,7 @@ class Combined(Message):
         return f"<{self.body}>_{self.secret} from {self.sender}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Forwarded(Message):
     """``'X'`` — X marked as forwarded, not newly constructed (M6).
 

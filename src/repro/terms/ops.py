@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Mapping
 
+from repro import perf
 from repro.errors import TermError
 from repro.terms.atoms import Atom, Key, Nonce, Opaque, Parameter, Principal, Sort
 from repro.terms.base import Message
@@ -128,29 +129,55 @@ def submessages(message: Message) -> frozenset[Message]:
     The uniform choice validates the lifting axioms A16-A19 (X is a
     submessage of any tuple, ciphertext, combination, or forwarding
     containing it) and is observer-independent, as freshness must be.
+
+    Memoized on the interned node: terms are immutable and hash-consed,
+    so the closure is computed once per structurally-distinct term and
+    shared by every context (and every parent term) that mentions it.
     """
-    return frozenset(walk(message))
+    cached = getattr(message, "_submsgs", None)
+    if cached is not None:
+        perf.count("ops.submessages.hit")
+        return cached
+    perf.count("ops.submessages.miss")
+    kids = children(message)
+    if not kids:
+        cached = frozenset((message,))
+    else:
+        out: set[Message] = {message}
+        for kid in kids:
+            out.update(submessages(kid))
+        cached = frozenset(out)
+    object.__setattr__(message, "_submsgs", cached)
+    return cached
 
 
 def submessages_of_all(messages: Iterable[Message]) -> frozenset[Message]:
     """Union of :func:`submessages` over a collection of messages."""
     out: set[Message] = set()
     for message in messages:
-        out.update(walk(message))
+        out.update(submessages(message))
     return frozenset(out)
 
 
 def size(message: Message) -> int:
-    """Number of nodes in the term."""
-    return sum(1 for _ in walk(message))
+    """Number of nodes in the term (tree size, memoized per node)."""
+    cached = getattr(message, "_size", None)
+    if cached is not None:
+        return cached
+    cached = 1 + sum(size(kid) for kid in children(message))
+    object.__setattr__(message, "_size", cached)
+    return cached
 
 
 def depth(message: Message) -> int:
-    """Height of the term (atoms have depth 1)."""
+    """Height of the term (atoms have depth 1, memoized per node)."""
+    cached = getattr(message, "_depth", None)
+    if cached is not None:
+        return cached
     kids = children(message)
-    if not kids:
-        return 1
-    return 1 + max(depth(kid) for kid in kids)
+    cached = 1 if not kids else 1 + max(depth(kid) for kid in kids)
+    object.__setattr__(message, "_depth", cached)
+    return cached
 
 
 # ---------------------------------------------------------------------------
@@ -158,16 +185,32 @@ def depth(message: Message) -> int:
 # ---------------------------------------------------------------------------
 
 
+_NO_PARAMETERS: frozenset[Parameter] = frozenset()
+
+
 def free_parameters(message: Message) -> frozenset[Parameter]:
-    """Parameters occurring free in the term (ForAll binds its variable)."""
+    """Parameters occurring free in the term (ForAll binds its variable).
+
+    Memoized on the interned node — the evaluator consults this before
+    every evaluation, so for ground formulas (the common case in the
+    soundness sweep) the answer must be O(1), not a term walk.
+    """
+    cached = getattr(message, "_free_params", None)
+    if cached is not None:
+        perf.count("ops.free_parameters.hit")
+        return cached
+    perf.count("ops.free_parameters.miss")
     if isinstance(message, Parameter):
-        return frozenset({message})
-    if isinstance(message, ForAll):
-        return free_parameters(message.body) - {message.variable}
-    out: set[Parameter] = set()
-    for kid in children(message):
-        out.update(free_parameters(kid))
-    return frozenset(out)
+        cached = frozenset((message,))
+    elif isinstance(message, ForAll):
+        cached = free_parameters(message.body) - {message.variable}
+    else:
+        out: set[Parameter] = set()
+        for kid in children(message):
+            out.update(free_parameters(kid))
+        cached = frozenset(out) if out else _NO_PARAMETERS
+    object.__setattr__(message, "_free_params", cached)
+    return cached
 
 
 def is_ground(message: Message) -> bool:
