@@ -19,6 +19,13 @@ Commands
     Time the E3 sweep, print the cache hit/miss table, and write a
     machine-readable benchmark record (default ``BENCH_sweep.json``).
 
+``fuzz [--seed S] [--iterations N] [--report PATH] [--parallel-every K]``
+    Run the differential fuzzing and fault-injection campaign: random
+    well-formed systems, WF fault injection with classification
+    oracles, evaluator cache/hide/ground-path differentials, and a
+    periodic parallel-vs-sequential sweep comparison.  Writes a JSON
+    report (default ``FUZZ_report.json``) with shrunk counterexamples.
+
 ``cointoss``
     Walk the Section 7 construction and optimality story (E5-E7).
 
@@ -163,6 +170,22 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0 if not report.essential_violations else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        parallel_every=args.parallel_every,
+        parallel_workers=args.workers,
+    )
+    report = run_fuzz(config)
+    print(report.render())
+    report.write(args.report)
+    print(f"wrote {args.report}")
+    return 0 if report.ok else 1
+
+
 def _cmd_cointoss(_args: argparse.Namespace) -> int:
     from repro.goodruns import (
         build_cointoss_example,
@@ -233,6 +256,24 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the machine-readable benchmark record",
     )
 
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="differential run-fuzzing and fault injection"
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0)
+    fuzz_parser.add_argument("--iterations", type=int, default=200)
+    fuzz_parser.add_argument(
+        "--report", default="FUZZ_report.json",
+        help="where to write the JSON campaign report",
+    )
+    fuzz_parser.add_argument(
+        "--parallel-every", type=int, default=50,
+        help="run the parallel-sweep oracle every Nth iteration (0 = never)",
+    )
+    fuzz_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="process-pool width for the parallel-sweep oracle",
+    )
+
     sub.add_parser("cointoss", help="the Section 7 story (E5-E7)")
     sub.add_parser("experiments", help="run all E1-E14 assertions")
 
@@ -242,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "sweep": _cmd_sweep,
         "perf": _cmd_perf,
+        "fuzz": _cmd_fuzz,
         "cointoss": _cmd_cointoss,
         "experiments": _cmd_experiments,
     }

@@ -1,0 +1,55 @@
+"""Differential run-fuzzing and fault injection.
+
+The soundness of Theorem 1 hinges on the well-formedness restrictions
+of Section 5 and on the semantic kernels behaving identically across
+every fast path (interning, memoization, the ground-formula shortcut,
+the parallel sweep).  This package *generates* hostile runs and checks
+those invariants differentially instead of trusting the hand-built
+protocol systems:
+
+* :mod:`repro.fuzz.generate` — seeded random workload generation
+  (layered on the E3 system generator, well-formed by construction);
+* :mod:`repro.fuzz.mutators` — fault injectors, each tagged with the
+  WF condition it should trip (or with none, for benign mutations);
+* :mod:`repro.fuzz.oracles` — the WF-classification oracle and the
+  cache/interning, hide, ground-path, and parallel-sweep differentials;
+* :mod:`repro.fuzz.shrink` — greedy counterexample minimization;
+* :mod:`repro.fuzz.harness` — the campaign driver and JSON report
+  behind ``python -m repro fuzz``.
+"""
+
+from repro.fuzz.generate import FuzzConfig, generate_base_system
+from repro.fuzz.harness import Counterexample, FuzzReport, run_fuzz
+from repro.fuzz.mutators import MUTATORS, Mutation, apply_random_mutator
+from repro.fuzz.oracles import (
+    OracleFailure,
+    check_cache_differential,
+    check_clean_system,
+    check_ground_path_differential,
+    check_hide_differential,
+    check_mutation,
+    check_parallel_sweep,
+    deintern,
+)
+from repro.fuzz.shrink import describe_run, shrink_run
+
+__all__ = [
+    "FuzzConfig",
+    "generate_base_system",
+    "Counterexample",
+    "FuzzReport",
+    "run_fuzz",
+    "MUTATORS",
+    "Mutation",
+    "apply_random_mutator",
+    "OracleFailure",
+    "check_cache_differential",
+    "check_clean_system",
+    "check_ground_path_differential",
+    "check_hide_differential",
+    "check_mutation",
+    "check_parallel_sweep",
+    "deintern",
+    "describe_run",
+    "shrink_run",
+]

@@ -1,0 +1,96 @@
+"""Seeded random workload generation for the differential fuzzer.
+
+Generation is layered on the E3 soundness generator
+(:mod:`repro.soundness.generators`): every base system comes out of
+:class:`~repro.model.builder.RunBuilder` with enforcement on, so it is
+well-formed by construction — the fuzzer's *negative* test material is
+produced afterwards by the fault injectors (:mod:`repro.fuzz.mutators`),
+never by the generator itself.
+
+Each fuzz iteration derives its own :class:`GeneratorConfig` from the
+master seed, varying the shape knobs (principal count, run length,
+environment activity) so that structurally different systems are
+explored without sacrificing reproducibility: iteration *i* of seed *s*
+is always the same workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+
+from repro.model.system import System
+from repro.soundness.generators import GeneratorConfig, generate_system
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs for one fuzzing campaign."""
+
+    seed: int = 0
+    iterations: int = 200
+    #: Run the (expensive) parallel-sweep oracle every Nth iteration.
+    parallel_every: int = 50
+    #: Process-pool width used by the parallel-sweep oracle.
+    parallel_workers: int = 2
+    #: Instance cap per schema for the parallel-sweep oracle.
+    parallel_instances: int = 8
+    #: Points sampled per run for the evaluator differential oracles.
+    points_per_run: int = 3
+    #: Formulas sampled from the instantiation pool per iteration.
+    formulas_per_iteration: int = 6
+
+
+def iteration_rng(config: FuzzConfig, iteration: int) -> random.Random:
+    """The iteration-local RNG: a pure function of (seed, iteration)."""
+    return random.Random(f"{config.seed}:{iteration}")
+
+
+def random_generator_config(rng: random.Random, iteration: int) -> GeneratorConfig:
+    """A small, shape-varied system configuration for one iteration."""
+    return GeneratorConfig(
+        principals=rng.randint(2, 3),
+        keys=rng.randint(2, 3),
+        nonces=rng.randint(2, 3),
+        keypairs=rng.randint(0, 1),
+        runs=rng.randint(2, 3),
+        steps_per_run=rng.randint(6, 14),
+        past_steps=rng.randint(0, 3),
+        env_activity=rng.choice((0.0, 0.2, 0.4)),
+        seed=rng.randrange(2**31),
+    )
+
+
+def generate_base_system(config: FuzzConfig, iteration: int) -> tuple[System, random.Random]:
+    """One well-formed base system plus the iteration's RNG.
+
+    The RNG is returned *after* the system draw, so mutator and oracle
+    choices downstream remain reproducible from (seed, iteration).
+    """
+    rng = iteration_rng(config, iteration)
+    generator_config = random_generator_config(rng, iteration)
+    return generate_system(generator_config), rng
+
+
+def shrink_generator_config(config: GeneratorConfig) -> list[GeneratorConfig]:
+    """Candidate smaller configurations, most aggressive first.
+
+    Used by the shrinker to re-generate structurally simpler base
+    systems while keeping the same seed (and so, broadly, the same
+    schedule shape).
+    """
+    candidates = []
+    if config.runs > 1:
+        candidates.append(dataclasses.replace(config, runs=1))
+    if config.steps_per_run > 2:
+        candidates.append(
+            dataclasses.replace(config, steps_per_run=config.steps_per_run // 2)
+        )
+    if config.past_steps > 0:
+        candidates.append(dataclasses.replace(config, past_steps=0))
+    if config.principals > 2:
+        candidates.append(dataclasses.replace(config, principals=2))
+    if config.env_activity > 0:
+        candidates.append(dataclasses.replace(config, env_activity=0.0))
+    return candidates

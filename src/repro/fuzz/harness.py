@@ -1,0 +1,251 @@
+"""The fuzzing campaign driver and its JSON report.
+
+One iteration = one seeded workload: generate a well-formed base
+system, run the differential evaluator oracles over sampled formulas
+and points, inject one fault and check the WF oracle classifies it,
+and (periodically) replay the soundness sweep in parallel and compare
+renders.  Failures are greedily shrunk before being recorded, so the
+report carries minimal reproductions, not raw random noise.
+
+Everything is a pure function of ``FuzzConfig.seed``: re-running with
+the same seed and iteration count reproduces every workload, mutation
+choice, and oracle verdict bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field, replace as dc_replace
+
+from repro import perf
+from repro.model.system import System
+
+from repro.fuzz.generate import FuzzConfig, generate_base_system
+from repro.fuzz.mutators import MUTATORS, Mutation, apply_random_mutator
+from repro.fuzz.oracles import (
+    OracleFailure,
+    check_cache_differential,
+    check_clean_system,
+    check_ground_path_differential,
+    check_hide_differential,
+    check_mutation,
+    check_parallel_sweep,
+    classification_failure,
+    sample_formulas,
+    sample_points,
+)
+from repro.fuzz.shrink import describe_run, shrink_run
+
+
+@dataclass
+class MutatorStats:
+    applied: int = 0
+    detected: int = 0
+    failed: int = 0
+
+
+@dataclass
+class Counterexample:
+    """A shrunk failing artifact, ready for the JSON report."""
+
+    iteration: int
+    failure: OracleFailure
+    mutator: str | None = None
+    expected: list[str] = field(default_factory=list)
+    script: list[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "mutator": self.mutator,
+            "expected": self.expected,
+            "failure": self.failure.to_json(),
+            "script": self.script,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated campaign outcome."""
+
+    seed: int
+    iterations: int = 0
+    mutations: dict[str, MutatorStats] = field(default_factory=dict)
+    oracle_checks: dict[str, int] = field(default_factory=dict)
+    counterexamples: list[Counterexample] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    def count_check(self, oracle: str, n: int = 1) -> None:
+        self.oracle_checks[oracle] = self.oracle_checks.get(oracle, 0) + n
+
+    def mutator_stats(self, name: str) -> MutatorStats:
+        return self.mutations.setdefault(name, MutatorStats())
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "ok": self.ok,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "mutations": {
+                name: {
+                    "applied": stats.applied,
+                    "detected": stats.detected,
+                    "failed": stats.failed,
+                }
+                for name, stats in sorted(self.mutations.items())
+            },
+            "oracle_checks": dict(sorted(self.oracle_checks.items())),
+            "counterexamples": [c.to_json() for c in self.counterexamples],
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz: seed={self.seed} iterations={self.iterations} "
+            f"elapsed={self.elapsed_s:.1f}s "
+            f"{'OK' if self.ok else 'FAILURES: ' + str(len(self.counterexamples))}"
+        ]
+        header = f"  {'mutator':<22} {'applied':>8} {'detected':>9} {'failed':>7}"
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for name in MUTATORS:
+            stats = self.mutations.get(name, MutatorStats())
+            lines.append(
+                f"  {name:<22} {stats.applied:>8} {stats.detected:>9} "
+                f"{stats.failed:>7}"
+            )
+        lines.append(
+            "  oracle checks: "
+            + ", ".join(
+                f"{name}={n}" for name, n in sorted(self.oracle_checks.items())
+            )
+        )
+        for example in self.counterexamples[:5]:
+            lines.append(f"  ! {example.failure.oracle}: "
+                         f"{example.failure.description}")
+        return "\n".join(lines)
+
+
+def _shrunk_counterexample(
+    iteration: int, mutation: Mutation, failure: OracleFailure
+) -> Counterexample:
+    """Minimize a WF-classification failure before recording it."""
+    expected, exact = mutation.expected, mutation.exact
+
+    def still_fails(candidate) -> bool:
+        return (
+            classification_failure(expected, exact, candidate) is not None
+        )
+
+    minimal = shrink_run(mutation.run, still_fails)
+    return Counterexample(
+        iteration=iteration,
+        failure=failure,
+        mutator=mutation.name,
+        expected=sorted(expected),
+        script=describe_run(minimal),
+    )
+
+
+def _system_with(system: System, run) -> System:
+    """The system with one run replaced by its mutated twin (same name)."""
+    runs = tuple(
+        run if original.name == run.name else original
+        for original in system.runs
+    )
+    return dc_replace(system, runs=runs)
+
+
+def run_fuzz(config: FuzzConfig, progress=None) -> FuzzReport:
+    """Run one fuzzing campaign; pure in ``config``."""
+    report = FuzzReport(seed=config.seed)
+    started = time.perf_counter()
+    for iteration in range(config.iterations):
+        system, rng = generate_base_system(config, iteration)
+        perf.count("fuzz.iterations")
+
+        # Oracle: the generator only emits well-formed systems.
+        report.count_check("generator_wellformed", len(system.runs))
+        for failure in check_clean_system(system):
+            report.counterexamples.append(
+                Counterexample(
+                    iteration=iteration,
+                    failure=failure,
+                    script=describe_run(system.run(failure.run_name)),
+                )
+            )
+
+        # Fault injection + WF classification oracle.
+        mutation = apply_random_mutator(rng, rng.choice(system.runs))
+        if mutation is not None:
+            perf.count(f"fuzz.mutations.{mutation.name}")
+            stats = report.mutator_stats(mutation.name)
+            stats.applied += 1
+            report.count_check("wf_classification")
+            failure = check_mutation(mutation)
+            if failure is None:
+                stats.detected += 1
+            else:
+                stats.failed += 1
+                report.counterexamples.append(
+                    _shrunk_counterexample(iteration, mutation, failure)
+                )
+            # A benign mutant that stayed clean is fresh differential
+            # material: run the evaluator oracles on the mutated system.
+            if failure is None and not mutation.expected:
+                system = _system_with(system, mutation.run)
+
+        # Differential evaluator oracles on the (possibly benign-mutated)
+        # well-formed system.
+        formulas = sample_formulas(rng, system, config.formulas_per_iteration)
+        points = sample_points(rng, system, config.points_per_run)
+        if formulas and points:
+            checks = len(formulas) * len(points)
+            report.count_check("cache_differential", checks)
+            report.count_check("hide_differential", checks)
+            report.count_check("ground_path_differential", len(points))
+            failures = (
+                check_cache_differential(system, formulas, points)
+                + check_hide_differential(system, formulas, points)
+                + check_ground_path_differential(rng, system, formulas, points)
+            )
+            for failure in failures:
+                run = system.run(failure.run_name) if failure.run_name else None
+                report.counterexamples.append(
+                    Counterexample(
+                        iteration=iteration,
+                        failure=failure,
+                        script=describe_run(run) if run is not None else [],
+                    )
+                )
+
+        # Periodic parallel-sweep differential (a full model-check, so
+        # only every Nth iteration and with a tight instance cap).
+        if (
+            config.parallel_every
+            and iteration % config.parallel_every == config.parallel_every - 1
+        ):
+            report.count_check("parallel_sweep_differential")
+            failure = check_parallel_sweep(
+                system, config.parallel_workers, config.parallel_instances
+            )
+            if failure is not None:
+                report.counterexamples.append(
+                    Counterexample(iteration=iteration, failure=failure)
+                )
+
+        report.iterations += 1
+        if progress is not None:
+            progress(report)
+    report.elapsed_s = time.perf_counter() - started
+    return report

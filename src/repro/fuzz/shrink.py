@@ -1,0 +1,164 @@
+"""Greedy counterexample minimization.
+
+When an oracle fails, the raw artifact is a randomly generated (and
+possibly mutated) run — dozens of states of noise around the few
+actions that matter.  The shrinker greedily applies three reductions,
+keeping a candidate only if the caller's predicate still fails on it:
+
+1. **action removal** — delete one global-history entry (and its local
+   mirror) everywhere it occurs;
+2. **stutter collapse** — drop states identical to their predecessor;
+3. **tail truncation** — cut trailing states.
+
+All three preserve run validity (cumulative histories stay cumulative;
+the time-0 state stays in the window), and the loop re-runs until no
+single reduction fires — a local minimum, which for greedy shrinking is
+the standard stopping point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.errors import ReproError
+from repro.model.actions import Action
+from repro.model.runs import Run
+from repro.model.states import EnvState, LocalState
+
+Predicate = Callable[[Run], bool]
+
+
+def _try(candidate_thunk) -> Run | None:
+    """Build a candidate, tolerating surgery that produces invalid runs."""
+    try:
+        return candidate_thunk()
+    except (ReproError, AssertionError, IndexError):
+        return None
+
+
+def remove_entry(run: Run, env_index: int) -> Run:
+    """Delete the env-history entry at ``env_index`` from every state,
+    mirroring the deletion into the performer's local history."""
+    final = run.states[-1].env.history
+    who, action = final[env_index]
+    local_index: int | None = None
+    if who != run.environment and run.is_system_principal(who):
+        local_index = sum(
+            1 for other, _a in final[:env_index] if other == who
+        )
+    states = []
+    for state in run.states:
+        env = state.env
+        if len(env.history) > env_index and env.history[env_index] == (who, action):
+            env = EnvState(
+                env.history[:env_index] + env.history[env_index + 1:],
+                env.keys, env.buffers, env.data,
+            )
+            state = state.with_env(env)
+        if local_index is not None:
+            local = state.local(who)
+            if len(local.history) > local_index:
+                state = state.with_local(
+                    who,
+                    LocalState(
+                        local.history[:local_index]
+                        + local.history[local_index + 1:],
+                        local.keys, local.data,
+                    ),
+                )
+        states.append(state)
+    return replace(run, states=tuple(states))
+
+
+def collapse_stutters(run: Run) -> Run:
+    """Drop states identical to their predecessor (idle steps)."""
+    states = [run.states[0]]
+    start = run.start_time
+    for index in range(1, len(run.states)):
+        state = run.states[index]
+        if state == states[-1]:
+            if run.start_time + index <= 0:
+                start += 1
+            continue
+        states.append(state)
+    if start > 0:
+        return run
+    return replace(run, states=tuple(states), start_time=start)
+
+
+def _candidates(run: Run) -> Iterator[Run]:
+    """One-step reductions of the run, most aggressive first."""
+    minimum = max(1, 1 - run.start_time)
+    length = len(run.states)
+    if length > minimum:
+        yield_from = [minimum, length // 2, length - 1]
+        seen = set()
+        for target in yield_from:
+            if target < minimum or target >= length or target in seen:
+                continue
+            seen.add(target)
+            candidate = _try(
+                lambda t=target: replace(run, states=run.states[:t])
+            )
+            if candidate is not None:
+                yield candidate
+    history = run.states[-1].env.history
+    for index in range(len(history)):
+        candidate = _try(lambda i=index: remove_entry(run, i))
+        if candidate is not None:
+            yield candidate
+    collapsed = _try(lambda: collapse_stutters(run))
+    if collapsed is not None and len(collapsed.states) < len(run.states):
+        yield collapsed
+
+
+def shrink_run(run: Run, still_fails: Predicate, max_steps: int = 400) -> Run:
+    """Greedily minimize a failing run.
+
+    ``still_fails`` must return True on any candidate that reproduces
+    the original failure; the original run is assumed failing.  Each
+    accepted reduction restarts the scan, so the result is 1-minimal
+    with respect to the three reduction operators (up to ``max_steps``
+    candidate evaluations).
+    """
+    current = run
+    budget = max_steps
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for candidate in _candidates(current):
+            budget -= 1
+            failing = False
+            try:
+                failing = still_fails(candidate)
+            except ReproError:
+                failing = False
+            if failing:
+                current = candidate
+                improved = True
+                break
+            if budget <= 0:
+                break
+    return current
+
+
+def describe_run(run: Run) -> list[str]:
+    """A compact, human-readable action script of the run."""
+    lines = [
+        f"run {run.name!r}: times {run.start_time}..{run.end_time}, "
+        f"principals {[str(p) for p in run.principals]}"
+    ]
+    for k in run.times:
+        for principal in run.all_principals:
+            for action in run.performed(principal, k):
+                assert isinstance(action, Action)
+                lines.append(f"  t={k} {principal}: {action}")
+    first = run.states[0]
+    for principal, pending in first.env.buffers:
+        if pending:
+            lines.append(
+                f"  t={run.start_time} buffer[{principal}] = "
+                f"{[str(m) for m in pending]}"
+            )
+    return lines

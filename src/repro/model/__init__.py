@@ -36,6 +36,7 @@ from repro.model.wellformed import (
     check_run,
     is_wellformed,
     iter_violations,
+    violation_classes,
 )
 
 __all__ = [
@@ -63,4 +64,5 @@ __all__ = [
     "check_run",
     "is_wellformed",
     "iter_violations",
+    "violation_classes",
 ]

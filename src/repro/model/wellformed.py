@@ -67,6 +67,16 @@ def is_wellformed(run: Run) -> bool:
     return next(iter_violations(run), None) is None
 
 
+def violation_classes(run: Run) -> frozenset[str]:
+    """The set of WF condition names violated by the run.
+
+    The fault-injection oracles (:mod:`repro.fuzz`) compare this set
+    against the condition a mutator was designed to trip, so detection
+    is judged per *class*, not per individual violation record.
+    """
+    return frozenset(violation.condition for violation in iter_violations(run))
+
+
 def iter_violations(run: Run) -> Iterator[Violation]:
     yield from _check_wf0(run)
     yield from _check_wf1(run)

@@ -52,6 +52,17 @@ def reset_counters() -> None:
     counters.clear()
 
 
+def merge_counters(extra: Mapping[str, int]) -> None:
+    """Add another process's counter deltas into this process's table.
+
+    The parallel soundness sweep ships each worker shard's counter delta
+    back to the parent (see :mod:`repro.soundness.sweep`); merging here
+    keeps ``report()``/``snapshot()`` complete for parallel workloads.
+    """
+    for event, n in extra.items():
+        count(event, n)
+
+
 def register_cache(
     name: str, clearer: Callable[[], None], sizer: Callable[[], int]
 ) -> None:
@@ -77,12 +88,19 @@ def snapshot() -> dict[str, Any]:
 
 
 def hit_rates() -> dict[str, float]:
-    """Hit rate per layer, from paired ``<layer>.hit``/``<layer>.miss``."""
+    """Hit rate per layer, from paired ``<layer>.hit``/``<layer>.miss``.
+
+    Layers are derived from *both* suffixes: a cold cache that recorded
+    only misses still appears (at rate 0.0), matching ``report()``.
+    """
     rates: dict[str, float] = {}
-    for event, hits in counters.items():
-        if not event.endswith(".hit"):
-            continue
-        layer = event[: -len(".hit")]
+    layers = {
+        event.rsplit(".", 1)[0]
+        for event in counters
+        if event.endswith((".hit", ".miss"))
+    }
+    for layer in layers:
+        hits = counters.get(layer + ".hit", 0)
         misses = counters.get(layer + ".miss", 0)
         total = hits + misses
         if total:

@@ -13,6 +13,7 @@ that would violate a condition are simply skipped.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
 
@@ -218,20 +219,10 @@ def generate_system(config: GeneratorConfig | None = None) -> System:
 def generate_systems(count: int, base_seed: int = 0,
                      config: GeneratorConfig | None = None) -> tuple[System, ...]:
     base = config or GeneratorConfig()
-    systems = []
-    for index in range(count):
-        cfg = GeneratorConfig(
-            principals=base.principals,
-            keys=base.keys,
-            nonces=base.nonces,
-            runs=base.runs,
-            steps_per_run=base.steps_per_run,
-            past_steps=base.past_steps,
-            env_activity=base.env_activity,
-            seed=base_seed + index,
-        )
-        systems.append(generate_system(cfg))
-    return tuple(systems)
+    return tuple(
+        generate_system(dataclasses.replace(base, seed=base_seed + index))
+        for index in range(count)
+    )
 
 
 def _sort_principal():

@@ -389,13 +389,27 @@ def _sweep_shard(
     max_instances_per_schema: int,
     pattern_hide: bool,
     max_violations_per_schema: int,
-) -> SweepReport:
-    """Worker entry point: one system, one contiguous slice of schemas."""
+) -> tuple[SweepReport, dict[str, int]]:
+    """Worker entry point: one system, one contiguous slice of schemas.
+
+    Returns the shard report *and* the perf-counter delta the shard
+    produced, so the parent can merge worker cache statistics into its
+    own table (``BENCH_sweep.json`` would otherwise under-report
+    hits/misses for parallel runs).  The delta — not the raw table — is
+    returned because executor processes are reused across shards.
+    """
+    before = dict(perf.counters)
     schemas = tuple(AXIOMS[name] for name in schema_names)
-    return _sweep_in_process(
+    report = _sweep_in_process(
         system, schemas, goodruns, max_instances_per_schema,
         pattern_hide, max_violations_per_schema,
     )
+    delta = {
+        event: n - before.get(event, 0)
+        for event, n in perf.counters.items()
+        if n != before.get(event, 0)
+    }
+    return report, delta
 
 
 def _sweep_parallel(
@@ -441,7 +455,9 @@ def _sweep_parallel(
             # matches the sequential sweep, so totals, violation lists,
             # and renders are identical to workers=1.
             for future in futures:
-                total.merge(future.result())
+                report, counter_delta = future.result()
+                total.merge(report)
+                perf.merge_counters(counter_delta)
     except (OSError, PermissionError):
         # No subprocess support on this platform/sandbox.
         return None

@@ -1,0 +1,204 @@
+"""Tests for the differential fuzzing and fault-injection subsystem.
+
+The fuzzer's own acceptance run (``python -m repro fuzz --seed 0
+--iterations 200``) is the integration test; here each piece is pinned
+in isolation: every mutator's injected fault is classified exactly,
+``deintern`` really produces structurally-equal non-canonical clones,
+the shrinker minimizes a failing run without losing the failure, and
+the harness/CLI smoke-run stays green on a fixed seed.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.__main__ import main
+from repro.fuzz import (
+    MUTATORS,
+    FuzzConfig,
+    apply_random_mutator,
+    check_clean_system,
+    check_mutation,
+    deintern,
+    describe_run,
+    generate_base_system,
+    run_fuzz,
+    shrink_run,
+)
+from repro.fuzz.generate import iteration_rng
+from repro.model.wellformed import violation_classes
+from repro.soundness import GeneratorConfig, generate_system
+from repro.terms.formulas import Believes, Says
+from repro.terms.messages import encrypted, group
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return [
+        generate_system(GeneratorConfig(seed=seed, runs=2, steps_per_run=10))
+        for seed in (0, 1, 2)
+    ]
+
+
+def _first_application(name, systems, attempts=30):
+    """The first (mutation, base run) the named mutator yields over a
+    deterministic schedule of runs and RNG streams."""
+    mutator = MUTATORS[name]
+    for attempt in range(attempts):
+        rng = random.Random(f"test:{name}:{attempt}")
+        for system in systems:
+            for run in system.runs:
+                mutation = mutator(rng, run)
+                if mutation is not None:
+                    return mutation, run
+    return None, None
+
+
+class TestMutators:
+    @pytest.mark.parametrize("name", sorted(MUTATORS))
+    def test_injected_fault_classified_exactly(self, name, systems):
+        mutation, base = _first_application(name, systems)
+        assert mutation is not None, f"{name} never applied on fixed seeds"
+        # The base run is clean, the mutant is flagged as tagged — and
+        # as *only* what was tagged (every mutator is surgical/exact).
+        assert violation_classes(base) == frozenset()
+        assert violation_classes(mutation.run) == mutation.expected
+        assert mutation.exact
+        assert check_mutation(mutation) is None
+
+    def test_benign_mutator_preserves_wellformedness(self, systems):
+        mutation, _base = _first_application("duplicate_send", systems)
+        assert mutation is not None
+        assert mutation.expected == frozenset()
+        assert violation_classes(mutation.run) == frozenset()
+
+    def test_apply_random_mutator_deterministic(self, systems):
+        run = systems[0].runs[0]
+        first = apply_random_mutator(random.Random("fixed"), run)
+        second = apply_random_mutator(random.Random("fixed"), run)
+        assert first is not None and second is not None
+        assert first.name == second.name
+        assert first.run == second.run
+
+    def test_generated_systems_are_clean(self, systems):
+        for system in systems:
+            assert check_clean_system(system) == []
+
+
+class TestDeintern:
+    def test_clone_is_equal_but_not_canonical(self):
+        from repro.terms.atoms import Key, Nonce, Principal
+
+        term = group(
+            encrypted(Nonce("N1"), Key("K1"), Principal("A")), Nonce("N2")
+        )
+        clone = deintern(term)
+        assert clone is not term
+        assert clone == term
+        assert hash(clone) == hash(term)
+        # Subterms are cloned too — nothing canonical leaks through.
+        assert clone.parts[0] is not term.parts[0]
+
+    def test_clone_formula_evaluates_identically(self, systems):
+        from repro.semantics.evaluator import Evaluator
+
+        system = systems[0]
+        from repro.terms.atoms import Sort
+
+        principal = system.principals()[0]
+        key = system.vocabulary.constants(Sort.KEY)[0]
+        run = system.runs[0]
+        formula = Believes(principal, Says(principal, key))
+        clone = deintern(formula)
+        assert clone == formula
+        evaluator = Evaluator(system)
+        for k in run.times:
+            assert evaluator.evaluate(clone, run, k) == evaluator.evaluate(
+                formula, run, k
+            )
+
+
+class TestShrink:
+    def test_shrinks_injected_fault_to_minimum(self, systems):
+        mutation, _base = _first_application("receive_unsent", systems)
+        assert mutation is not None
+        expected = mutation.expected
+
+        def still_fails(candidate):
+            return violation_classes(candidate) == expected
+
+        minimal = shrink_run(mutation.run, still_fails)
+        assert violation_classes(minimal) == expected
+        assert len(minimal.states) <= len(mutation.run.states)
+        # The orphan receive needs no other traffic: greedy removal
+        # strips the well-formed prefix down to (almost) nothing.
+        history = minimal.states[-1].env.history
+        assert len(history) <= 2
+
+    def test_shrink_keeps_run_valid(self, systems):
+        mutation, _base = _first_application("shrink_keyset", systems)
+        assert mutation is not None
+        minimal = shrink_run(
+            mutation.run,
+            lambda candidate: "WF1" in violation_classes(candidate),
+        )
+        # Still a structurally valid run: describable, time window intact.
+        lines = describe_run(minimal)
+        assert lines and minimal.start_time <= 0 <= minimal.end_time
+
+    def test_shrink_noop_on_predicate_never_failing_smaller(self, systems):
+        run = systems[0].runs[0]
+        result = shrink_run(run, lambda candidate: candidate is run)
+        assert result is run
+
+
+class TestHarness:
+    def test_fixed_seed_campaign_is_green_and_reproducible(self):
+        config = FuzzConfig(seed=7, iterations=6, parallel_every=0)
+        first = run_fuzz(config)
+        second = run_fuzz(config)
+        assert first.ok, [c.to_json() for c in first.counterexamples]
+        assert first.iterations == 6
+        assert first.to_json()["mutations"] == second.to_json()["mutations"]
+        assert first.oracle_checks == second.oracle_checks
+        assert sum(s.applied for s in first.mutations.values()) > 0
+        assert first.oracle_checks.get("cache_differential", 0) > 0
+        assert first.oracle_checks.get("hide_differential", 0) > 0
+
+    def test_generate_base_system_deterministic(self):
+        config = FuzzConfig(seed=3)
+        system_a, _ = generate_base_system(config, 5)
+        system_b, _ = generate_base_system(config, 5)
+        assert [run.name for run in system_a.runs] == [
+            run.name for run in system_b.runs
+        ]
+        assert system_a.runs[0].states == system_b.runs[0].states
+        assert iteration_rng(config, 5).random() == iteration_rng(
+            config, 5
+        ).random()
+
+
+class TestCli:
+    def test_fuzz_subcommand_smoke(self, tmp_path, capsys):
+        report_path = tmp_path / "FUZZ_report.json"
+        code = main(
+            [
+                "fuzz",
+                "--seed", "0",
+                "--iterations", "4",
+                "--parallel-every", "0",
+                "--report", str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fuzz: seed=0 iterations=4" in out
+        assert "OK" in out
+        record = json.loads(report_path.read_text())
+        assert record["ok"] is True
+        assert record["iterations"] == 4
+        assert record["counterexamples"] == []
+        assert set(record["mutations"]) <= set(MUTATORS)

@@ -1,0 +1,203 @@
+"""Edge-case pins for the WF0-WF5 checker (Section 5).
+
+Each restriction is pinned to a *minimal* hand-built run that violates
+it and nothing else, so ``violation_classes`` is tested as an exact
+classifier — the contract the fault-injection oracles
+(:mod:`repro.fuzz`) rely on.  Alongside the pins: the degenerate and
+boundary cases the random fuzzer is unlikely to hit by chance — empty
+(single-state) runs, a receive at the epoch instant, environment-origin
+ciphertexts copied onward by system principals, and a key-set decrease
+landing exactly at time 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.model.actions import Action, Receive
+from repro.model.builder import RunBuilder
+from repro.model.runs import Run
+from repro.model.states import LocalState
+from repro.model.wellformed import (
+    check_run,
+    is_wellformed,
+    violation_classes,
+)
+from repro.terms.atoms import Key, Nonce, Principal
+from repro.terms.messages import combined, encrypted, forwarded
+
+A, B = Principal("A"), Principal("B")
+KA, KENV = Key("Ka"), Key("Kenv")
+N1, N2 = Nonce("N1"), Nonce("N2")
+
+
+def _builder(**kwargs) -> RunBuilder:
+    kwargs.setdefault("keysets", {A: {KA}, B: {KA}})
+    kwargs.setdefault("env_keys", {KENV})
+    return RunBuilder((A, B), **kwargs)
+
+
+def _append(run: Run, principal: Principal, action: Action) -> Run:
+    """Raw (unchecked) extension of a run by one acting state."""
+    last = run.states[-1]
+    env = last.env.record(principal, action)
+    if principal == run.environment:
+        state = last.with_env(env)
+    else:
+        local = last.local(principal).after(action)
+        state = last.with_local(principal, local).with_env(env)
+    return replace(run, states=run.states + (state,))
+
+
+# ---------------------------------------------------------------------------
+# Minimal pins: one run per restriction, flagged as exactly that class
+# ---------------------------------------------------------------------------
+
+
+def test_wf0_preseeded_buffer():
+    builder = _builder()
+    builder.idle()
+    run = builder.build("wf0")
+    first = run.states[0]
+    buffers = dict(first.env.buffer_map)
+    buffers[A] = (N1,)
+    dirty = replace(
+        run,
+        states=(first.with_env(first.env.with_buffers(buffers)),)
+        + run.states[1:],
+    )
+    assert violation_classes(dirty) == frozenset({"WF0"})
+
+
+def test_wf1_keyset_decrease():
+    builder = _builder()
+    builder.idle()
+    run = builder.build("wf1")
+    last = run.states[-1]
+    local = last.local(A)
+    lossy = replace(
+        run,
+        states=run.states
+        + (last.with_local(A, LocalState(local.history, local.keys - {KA},
+                                         local.data)),),
+    )
+    assert violation_classes(lossy) == frozenset({"WF1"})
+
+
+def test_wf2_receive_without_send():
+    builder = _builder()
+    run = _append(builder.build("wf2"), A, Receive(N1))
+    assert violation_classes(run) == frozenset({"WF2"})
+
+
+def test_wf3_unheld_key():
+    builder = _builder()
+    # From field names the sender itself, so only WF3 can fire.
+    builder.send(A, encrypted(N1, KENV, A), B, unchecked=True)
+    assert violation_classes(builder.build("wf3")) == frozenset({"WF3"})
+
+
+def test_wf4_forged_from_field():
+    builder = _builder()
+    # A combination (no encryption involved) keeps WF3 out of play.
+    builder.send(A, combined(N1, N2, B), B, unchecked=True)
+    assert violation_classes(builder.build("wf4")) == frozenset({"WF4"})
+
+
+def test_wf5_forward_unseen():
+    builder = _builder()
+    builder.send(A, forwarded(N1), B, unchecked=True)
+    assert violation_classes(builder.build("wf5")) == frozenset({"WF5"})
+
+
+# ---------------------------------------------------------------------------
+# Degenerate and boundary cases
+# ---------------------------------------------------------------------------
+
+
+def test_empty_single_state_run_is_wellformed():
+    run = _builder().build("empty")
+    assert len(run.states) == 1
+    assert run.start_time == run.end_time == 0
+    assert check_run(run) == []
+
+
+def test_empty_run_with_initial_keys_only():
+    run = _builder(keysets={A: {KA}, B: set()}).build("keys-only")
+    assert is_wellformed(run)
+    assert run.keyset(A, 0) == frozenset({KA})
+    assert run.keyset(B, 0) == frozenset()
+
+
+def test_receive_at_epoch_instant():
+    """A receive performed exactly at time 0, matching a past send."""
+    builder = _builder()
+    builder.send(builder.environment, N1, A)
+    builder.receive(A)
+    builder.mark_epoch()
+    builder.idle()
+    run = builder.build("epoch-receive")
+    assert run.start_time == -2
+    received_at_zero = [
+        action for action in run.performed(A, 0)
+        if isinstance(action, Receive)
+    ]
+    assert received_at_zero and received_at_zero[0].message == N1
+    assert check_run(run) == []
+
+
+def test_env_origin_ciphertext_copied_by_system_principal():
+    """A system principal may pass on a ciphertext it cannot decrypt and
+    did not originate: copying is exempt from WF3 and WF4."""
+    cipher = encrypted(N1, KENV, B)  # env encrypts, lying about the sender
+    builder = _builder()
+    builder.send(builder.environment, cipher, A)
+    builder.receive(A)
+    # A holds neither KENV nor authorship, but has *seen* the ciphertext.
+    builder.send(A, cipher, B)
+    run = builder.build("copied-cipher")
+    assert violation_classes(run) == frozenset()
+
+
+def test_env_origin_ciphertext_not_seen_still_flagged():
+    """Without the receive, the same resend is an origination: WF3+WF4."""
+    cipher = encrypted(N1, KENV, B)
+    builder = _builder()
+    builder.send(builder.environment, cipher, A)
+    builder.send(A, cipher, B, unchecked=True)
+    run = builder.build("uncopied-cipher")
+    assert violation_classes(run) == frozenset({"WF3", "WF4"})
+
+
+def test_wf1_across_epoch_boundary_at_time_zero():
+    """Key material acquired in the past persists through time 0; a key
+    lost exactly at the boundary is flagged at t=0."""
+    builder = _builder(keysets={A: set(), B: set()})
+    builder.newkey(A, KA)
+    builder.mark_epoch()
+    builder.idle()
+    growing = builder.build("epoch-growth")
+    assert growing.start_time == -1
+    assert KA in growing.keyset(A, 0)
+    assert check_run(growing) == []
+
+    # Now a decrease landing exactly at the epoch instant.
+    base = _builder()
+    base.idle()
+    run = base.build("epoch-loss")
+    last = run.states[-1]
+    local = last.local(A)
+    states = run.states + (
+        last.with_local(A, LocalState(local.history, local.keys - {KA},
+                                      local.data)),
+    )
+    lossy = Run(
+        name="epoch-loss",
+        states=states,
+        start_time=-2,
+        params=(),
+        environment=run.environment,
+    )
+    violations = check_run(lossy)
+    assert violation_classes(lossy) == frozenset({"WF1"})
+    assert [v.time for v in violations if v.condition == "WF1"] == [0]
