@@ -19,6 +19,14 @@ Commands
     Time the E3 sweep, print the cache hit/miss table, and write a
     machine-readable benchmark record (default ``BENCH_sweep.json``).
 
+``trace [--systems N] [--seed S] [--schema NAME] [--instances M]
+[--formula TEXT] [--output PATH] [--only-failures]``
+    Trace the Section 6 truth definition: evaluate axiom-schema
+    instances (or one ``--formula``) over generated systems with the
+    explanation tracer on, write the evaluation trees as JSONL
+    (default ``TRACE_report.jsonl``), and print the first "why-false"
+    proof tree encountered.
+
 ``fuzz [--seed S] [--iterations N] [--report PATH] [--parallel-every K]``
     Run the differential fuzzing and fault-injection campaign: random
     well-formed systems, WF fault injection with classification
@@ -122,28 +130,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro import perf
+    from repro.obs import run_metadata, spans
     from repro.soundness import generate_systems, sweep_systems
 
-    with perf.Stopwatch() as generation:
-        systems = generate_systems(args.systems, base_seed=args.seed)
+    spans.reset()
+    with spans.span("perf.generate"):
+        with perf.Stopwatch() as generation:
+            systems = generate_systems(args.systems, base_seed=args.seed)
     perf.reset_counters()
-    with perf.Stopwatch() as cold:
-        report = sweep_systems(
-            systems,
-            max_instances_per_schema=args.instances,
-            workers=args.workers,
-        )
+    with spans.span("perf.sweep_cold"):
+        with perf.Stopwatch() as cold:
+            report = sweep_systems(
+                systems,
+                max_instances_per_schema=args.instances,
+                workers=args.workers,
+            )
     # A second, identical sweep shows what the process-global term
     # caches (interning, ops memos, hide views) buy on a warm process.
-    with perf.Stopwatch() as warm:
-        sweep_systems(
-            systems,
-            max_instances_per_schema=args.instances,
-            workers=args.workers,
-        )
+    with spans.span("perf.sweep_warm"):
+        with perf.Stopwatch() as warm:
+            sweep_systems(
+                systems,
+                max_instances_per_schema=args.instances,
+                workers=args.workers,
+            )
     print(report.render())
     print()
     print(perf.report())
+    print()
+    print(spans.render())
     print()
     print(
         f"generation {generation.seconds:.3f}s | sweep (cold) "
@@ -165,9 +180,84 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "workers": args.workers,
         },
+        spans=spans.summary(),
+        meta=run_metadata(command="perf", workers=args.workers),
     )
     print(f"wrote {args.output}")
     return 0 if not report.essential_violations else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import itertools
+    import json
+
+    from repro.logic.axioms import AXIOMS
+    from repro.obs import run_metadata
+    from repro.obs.trace import render_why, trace_evaluation, trace_records
+    from repro.soundness import generate_systems
+    from repro.soundness.sweep import pool_from_system
+
+    if args.schema is not None and args.schema not in AXIOMS:
+        print(f"unknown schema {args.schema!r}; choose from: "
+              f"{', '.join(sorted(AXIOMS))}", file=sys.stderr)
+        return 2
+    systems = generate_systems(args.systems, base_seed=args.seed)
+    schemas = (
+        (AXIOMS[args.schema],) if args.schema is not None
+        else tuple(AXIOMS.values())
+    )
+
+    evaluations = failures = lines = 0
+    first_false: str | None = None
+    with open(args.output, "w", encoding="utf-8") as handle:
+        meta = run_metadata(
+            command="trace", systems=args.systems, seed=args.seed,
+            schema=args.schema, formula=args.formula,
+        )
+        handle.write(json.dumps({"record": "meta", **meta},
+                               sort_keys=True) + "\n")
+        for index, system in enumerate(systems):
+            if args.formula is not None:
+                from repro.terms.parser import parse_formula
+
+                targets = [("formula", parse_formula(
+                    args.formula, system.vocabulary))]
+            else:
+                pool = pool_from_system(system)
+                targets = [
+                    (schema.name, instance)
+                    for schema in schemas
+                    for instance in itertools.islice(
+                        schema.instances(pool), args.instances
+                    )
+                ]
+            for label, instance in targets:
+                for run, k in system.points():
+                    verdict, root = trace_evaluation(system, instance, run, k)
+                    evaluations += 1
+                    if not verdict:
+                        failures += 1
+                        if first_false is None:
+                            first_false = render_why(root)
+                    if args.only_failures and verdict:
+                        continue
+                    for record in trace_records(
+                        root, schema=label, system=index
+                    ):
+                        handle.write(
+                            json.dumps(record, sort_keys=True) + "\n"
+                        )
+                        lines += 1
+    print(
+        f"trace: {evaluations} evaluations ({failures} false) over "
+        f"{args.systems} system(s); {lines} trace records"
+    )
+    if first_false is not None:
+        print()
+        print("first why-false tree:")
+        print(first_false)
+    print(f"wrote {args.output}")
+    return 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -256,6 +346,32 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the machine-readable benchmark record",
     )
 
+    trace_parser = sub.add_parser(
+        "trace", help="explanation-trace schema instances over systems"
+    )
+    trace_parser.add_argument("--systems", type=int, default=1)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument(
+        "--schema", default=None,
+        help="trace one axiom schema (default: all registered schemas)",
+    )
+    trace_parser.add_argument(
+        "--instances", type=int, default=2,
+        help="instances per schema to trace (each at every point)",
+    )
+    trace_parser.add_argument(
+        "--formula", default=None,
+        help="trace this formula instead of schema instances",
+    )
+    trace_parser.add_argument(
+        "--output", default="TRACE_report.jsonl",
+        help="where to write the JSONL trace records",
+    )
+    trace_parser.add_argument(
+        "--only-failures", action="store_true",
+        help="write trace records only for false verdicts",
+    )
+
     fuzz_parser = sub.add_parser(
         "fuzz", help="differential run-fuzzing and fault injection"
     )
@@ -283,6 +399,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "sweep": _cmd_sweep,
         "perf": _cmd_perf,
+        "trace": _cmd_trace,
         "fuzz": _cmd_fuzz,
         "cointoss": _cmd_cointoss,
         "experiments": _cmd_experiments,

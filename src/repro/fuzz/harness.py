@@ -20,6 +20,9 @@ from dataclasses import dataclass, field, replace as dc_replace
 
 from repro import perf
 from repro.model.system import System
+from repro.obs import run_metadata, spans
+from repro.obs.spans import summarize
+from repro.obs.trace import render_why, trace_evaluation
 
 from repro.fuzz.generate import FuzzConfig, generate_base_system
 from repro.fuzz.mutators import MUTATORS, Mutation, apply_random_mutator
@@ -54,6 +57,9 @@ class Counterexample:
     mutator: str | None = None
     expected: list[str] = field(default_factory=list)
     script: list[str] = field(default_factory=list)
+    #: Rendered "why" proof-tree of the violated instance, when the
+    #: failure names a (formula, run, time) that can be re-evaluated.
+    trace: list[str] = field(default_factory=list)
 
     def to_json(self) -> dict:
         return {
@@ -62,6 +68,7 @@ class Counterexample:
             "expected": self.expected,
             "failure": self.failure.to_json(),
             "script": self.script,
+            "trace": self.trace,
         }
 
 
@@ -75,6 +82,10 @@ class FuzzReport:
     oracle_checks: dict[str, int] = field(default_factory=dict)
     counterexamples: list[Counterexample] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: Environment fingerprint (:func:`repro.obs.run_metadata`).
+    meta: dict = field(default_factory=dict)
+    #: Per-phase wall-clock summary (:func:`repro.obs.spans.summarize`).
+    spans: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -102,6 +113,8 @@ class FuzzReport:
             },
             "oracle_checks": dict(sorted(self.oracle_checks.items())),
             "counterexamples": [c.to_json() for c in self.counterexamples],
+            "meta": dict(self.meta),
+            "spans": dict(self.spans),
         }
 
     def write(self, path: str) -> None:
@@ -157,6 +170,32 @@ def _shrunk_counterexample(
     )
 
 
+def _failure_trace(system: System, failure: OracleFailure) -> list[str]:
+    """Best-effort "why" proof-tree for a differential-oracle failure.
+
+    The failure records the violated instance as a string; when it
+    round-trips through the parser against the system's vocabulary, a
+    fresh traced evaluation explains the verdict the oracle objected
+    to.  Anything unparseable (or un-evaluable) yields no trace rather
+    than masking the original failure.
+    """
+    if (
+        failure.formula is None
+        or failure.run_name is None
+        or failure.time is None
+    ):
+        return []
+    try:
+        from repro.terms.parser import parse_formula
+
+        formula = parse_formula(failure.formula, system.vocabulary)
+        run = system.run(failure.run_name)
+        _verdict, root = trace_evaluation(system, formula, run, failure.time)
+        return render_why(root).splitlines()
+    except Exception:  # pragma: no cover - diagnostics must not throw
+        return []
+
+
 def _system_with(system: System, run) -> System:
     """The system with one run replaced by its mutated twin (same name)."""
     runs = tuple(
@@ -169,9 +208,14 @@ def _system_with(system: System, run) -> System:
 def run_fuzz(config: FuzzConfig, progress=None) -> FuzzReport:
     """Run one fuzzing campaign; pure in ``config``."""
     report = FuzzReport(seed=config.seed)
+    report.meta = run_metadata(
+        seed=config.seed, iterations=config.iterations
+    )
+    span_mark = spans.mark()
     started = time.perf_counter()
     for iteration in range(config.iterations):
-        system, rng = generate_base_system(config, iteration)
+        with spans.span("fuzz.generate"):
+            system, rng = generate_base_system(config, iteration)
         perf.count("fuzz.iterations")
 
         # Oracle: the generator only emits well-formed systems.
@@ -186,7 +230,8 @@ def run_fuzz(config: FuzzConfig, progress=None) -> FuzzReport:
             )
 
         # Fault injection + WF classification oracle.
-        mutation = apply_random_mutator(rng, rng.choice(system.runs))
+        with spans.span("fuzz.mutate"):
+            mutation = apply_random_mutator(rng, rng.choice(system.runs))
         if mutation is not None:
             perf.count(f"fuzz.mutations.{mutation.name}")
             stats = report.mutator_stats(mutation.name)
@@ -214,11 +259,14 @@ def run_fuzz(config: FuzzConfig, progress=None) -> FuzzReport:
             report.count_check("cache_differential", checks)
             report.count_check("hide_differential", checks)
             report.count_check("ground_path_differential", len(points))
-            failures = (
-                check_cache_differential(system, formulas, points)
-                + check_hide_differential(system, formulas, points)
-                + check_ground_path_differential(rng, system, formulas, points)
-            )
+            with spans.span("fuzz.differential", checks=checks):
+                failures = (
+                    check_cache_differential(system, formulas, points)
+                    + check_hide_differential(system, formulas, points)
+                    + check_ground_path_differential(
+                        rng, system, formulas, points
+                    )
+                )
             for failure in failures:
                 run = system.run(failure.run_name) if failure.run_name else None
                 report.counterexamples.append(
@@ -226,6 +274,7 @@ def run_fuzz(config: FuzzConfig, progress=None) -> FuzzReport:
                         iteration=iteration,
                         failure=failure,
                         script=describe_run(run) if run is not None else [],
+                        trace=_failure_trace(system, failure),
                     )
                 )
 
@@ -236,9 +285,10 @@ def run_fuzz(config: FuzzConfig, progress=None) -> FuzzReport:
             and iteration % config.parallel_every == config.parallel_every - 1
         ):
             report.count_check("parallel_sweep_differential")
-            failure = check_parallel_sweep(
-                system, config.parallel_workers, config.parallel_instances
-            )
+            with spans.span("fuzz.parallel_sweep"):
+                failure = check_parallel_sweep(
+                    system, config.parallel_workers, config.parallel_instances
+                )
             if failure is not None:
                 report.counterexamples.append(
                     Counterexample(iteration=iteration, failure=failure)
@@ -248,4 +298,5 @@ def run_fuzz(config: FuzzConfig, progress=None) -> FuzzReport:
         if progress is not None:
             progress(report)
     report.elapsed_s = time.perf_counter() - started
+    report.spans = summarize(spans.delta_since(span_mark))
     return report

@@ -84,9 +84,31 @@ def materials_of(run: Run) -> Materials:
 
 def _append_action(run: Run, principal: Principal, action: Action) -> Run:
     """Extend the run by one state in which ``principal`` performs
-    ``action`` — the raw (unchecked) analogue of a builder step."""
+    ``action`` — the raw (unchecked) analogue of a builder step.
+
+    Transit bookkeeping mirrors the builder (a send feeds the
+    recipient's buffer, a receive consumes its message when buffered),
+    so an injected action is only as ill-formed as intended: a WF4
+    forgery, say, must not incidentally trip the WFB buffer-discipline
+    check.  Buffers are only touched for principals the run actually
+    tracks (hand-built runs without buffer entries stay untracked).
+    """
     last = run.states[-1]
     env = last.env.record(principal, action)
+    if isinstance(action, Send):
+        buffers = dict(env.buffer_map)
+        if action.recipient in buffers:
+            buffers[action.recipient] = (
+                buffers[action.recipient] + (action.message,)
+            )
+            env = env.with_buffers(buffers)
+    elif isinstance(action, Receive):
+        buffers = dict(env.buffer_map)
+        pending = buffers.get(principal, ())
+        if action.message in pending:
+            index = pending.index(action.message)
+            buffers[principal] = pending[:index] + pending[index + 1:]
+            env = env.with_buffers(buffers)
     if principal == run.environment:
         if isinstance(action, NewKey):
             env = EnvState(env.history, env.keys | {action.key},
@@ -282,14 +304,20 @@ def mutate_receive_unsent(rng: random.Random, run: Run) -> Mutation | None:
 
 
 def mutate_drop_send(rng: random.Random, run: Run) -> Mutation | None:
-    """WF2: the unique send matching some receive is dropped."""
+    """WF2 + WFB: the unique send matching some receive is dropped.
+
+    Dropping the history entry leaves the message sitting in the
+    recipient's buffer at the send's own state with no send to explain
+    it, so the buffer-discipline check fires alongside the orphaned
+    receive — both are real consequences of the same surgery.
+    """
     candidates = _single_send_with_receive(run)
     if not candidates:
         return None
     index, who, send = rng.choice(candidates)
     mutated = _remove_history_entry(run, who, index)
     return Mutation(
-        "drop_send", mutated, frozenset({"WF2"}), True,
+        "drop_send", mutated, frozenset({"WF2", "WFB"}), True,
         f"dropped {who}'s send of {send.message} to {send.recipient}",
     )
 
@@ -310,16 +338,6 @@ def mutate_duplicate_send(rng: random.Random, run: Run) -> Mutation | None:
         return None
     who, send = rng.choice(candidates)
     mutated = _append_action(run, who, send)
-    # Mirror the builder: the duplicate also lands in the recipient's
-    # buffer, keeping the transit bookkeeping honest.
-    last = mutated.states[-1]
-    buffers = dict(last.env.buffer_map)
-    if send.recipient in buffers:
-        buffers[send.recipient] = buffers[send.recipient] + (send.message,)
-        states = mutated.states[:-1] + (
-            last.with_env(last.env.with_buffers(buffers)),
-        )
-        mutated = replace(mutated, states=states)
     return Mutation(
         "duplicate_send", mutated, frozenset(), True,
         f"{who} re-sent {send.message} to {send.recipient}",
@@ -327,7 +345,12 @@ def mutate_duplicate_send(rng: random.Random, run: Run) -> Mutation | None:
 
 
 def mutate_reorder_send_receive(rng: random.Random, run: Run) -> Mutation | None:
-    """WF2: a send is delayed past its matching receive."""
+    """WF2 + WFB: a send is delayed past its matching receive.
+
+    Between the original send time and the receive the message still
+    sits in the buffer with no send on record, and after the delayed
+    re-send it is in transit despite already having been received — the
+    buffer-discipline check flags both windows."""
     candidates = [
         (index, who, send)
         for index, who, send in _single_send_with_receive(run)
@@ -340,7 +363,7 @@ def mutate_reorder_send_receive(rng: random.Random, run: Run) -> Mutation | None
     mutated = _remove_history_entry(run, who, index)
     mutated = _append_action(mutated, who, send)
     return Mutation(
-        "reorder_send_receive", mutated, frozenset({"WF2"}), True,
+        "reorder_send_receive", mutated, frozenset({"WF2", "WFB"}), True,
         f"delayed {who}'s send of {send.message} past its receive",
     )
 
@@ -422,6 +445,41 @@ def mutate_unheld_key_cipher(rng: random.Random, run: Run) -> Mutation | None:
     )
 
 
+def mutate_buffer_junk(rng: random.Random, run: Run) -> Mutation | None:
+    """WFB: the final state's in-transit buffer drifts from the history.
+
+    Either slips an extra message into a tracked buffer (a message the
+    history never put in transit) or vanishes one that should still be
+    pending.  Only the final state is touched, so WF0 stays quiet and
+    the mutation is exactly a buffer-discipline fault.
+    """
+    last = run.states[-1]
+    tracked = [principal for principal, _buffer in last.env.buffers]
+    if not tracked or len(run.states) < 2:
+        return None
+    buffers = dict(last.env.buffer_map)
+    pending = [
+        (principal, buffers[principal]) for principal in tracked
+        if buffers.get(principal)
+    ]
+    if pending and rng.random() < 0.5:
+        victim, buffer = rng.choice(pending)
+        dropped = rng.choice(buffer)
+        index = buffer.index(dropped)
+        buffers[victim] = buffer[:index] + buffer[index + 1:]
+        detail = f"vanished in-transit {dropped} from {victim}'s buffer"
+    else:
+        victim = rng.choice(tracked)
+        junk = rng.choice(materials_of(run).nonces)
+        buffers[victim] = buffers.get(victim, ()) + (junk,)
+        detail = f"slipped {junk} into {victim}'s in-transit buffer"
+    state = last.with_env(last.env.with_buffers(buffers))
+    mutated = replace(run, states=run.states[:-1] + (state,))
+    return Mutation(
+        "buffer_junk", mutated, frozenset({"WFB"}), True, detail
+    )
+
+
 #: Registry of all mutators, in presentation order.
 MUTATORS: dict[str, MutatorFn] = {
     "dirty_start": mutate_dirty_start,
@@ -430,6 +488,7 @@ MUTATORS: dict[str, MutatorFn] = {
     "drop_send": mutate_drop_send,
     "duplicate_send": mutate_duplicate_send,
     "reorder_send_receive": mutate_reorder_send_receive,
+    "buffer_junk": mutate_buffer_junk,
     "forge_from_field": mutate_forge_from_field,
     "forward_unseen": mutate_forward_unseen,
     "unheld_key_cipher": mutate_unheld_key_cipher,

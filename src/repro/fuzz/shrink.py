@@ -22,11 +22,53 @@ from dataclasses import replace
 from typing import Callable, Iterator
 
 from repro.errors import ReproError
-from repro.model.actions import Action
+from repro.model.actions import Action, Receive, Send
 from repro.model.runs import Run
 from repro.model.states import EnvState, LocalState
 
 Predicate = Callable[[Run], bool]
+
+
+def _transit_balance(env: EnvState, recipient, message) -> int:
+    """Sent-minus-received count for ``(recipient, message)`` in a state."""
+    balance = 0
+    for who, action in env.history:
+        if isinstance(action, Send):
+            if action.recipient == recipient and action.message == message:
+                balance += 1
+        elif isinstance(action, Receive):
+            if who == recipient and action.message == message:
+                balance -= 1
+    return balance
+
+
+def _repair_buffer(env: EnvState, original: EnvState, removed) -> EnvState:
+    """Undo the transit effect of a history entry deleted from ``env``.
+
+    A deleted send should take its buffered copy with it; a deleted
+    receive should put the copy back.  Without this, every reduction of
+    a send/receive would manufacture a WFB buffer-discipline violation
+    and the shrinker could never remove traffic.  Untracked principals
+    (no buffer entry) are left alone, and the caller's predicate still
+    decides whether the repaired candidate reproduces the failure.
+    """
+    who, action = removed
+    buffers = dict(env.buffer_map)
+    if isinstance(action, Send):
+        pending = buffers.get(action.recipient)
+        if (
+            pending
+            and action.message in pending
+            and _transit_balance(original, action.recipient, action.message) > 0
+        ):
+            index = pending.index(action.message)
+            buffers[action.recipient] = pending[:index] + pending[index + 1:]
+            return env.with_buffers(buffers)
+    elif isinstance(action, Receive):
+        if who in buffers and _transit_balance(env, who, action.message) > 0:
+            buffers[who] = buffers[who] + (action.message,)
+            return env.with_buffers(buffers)
+    return env
 
 
 def _try(candidate_thunk) -> Run | None:
@@ -51,10 +93,12 @@ def remove_entry(run: Run, env_index: int) -> Run:
     for state in run.states:
         env = state.env
         if len(env.history) > env_index and env.history[env_index] == (who, action):
+            original = env
             env = EnvState(
                 env.history[:env_index] + env.history[env_index + 1:],
                 env.keys, env.buffers, env.data,
             )
+            env = _repair_buffer(env, original, (who, action))
             state = state.with_env(env)
         if local_index is not None:
             local = state.local(who)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.errors import AssumptionError
 from repro.goodruns.assumptions import InitialAssumptions
+from repro.obs import spans
 from repro.model.system import System
 from repro.semantics.evaluator import Evaluator
 from repro.semantics.goodvectors import GoodRunVector
@@ -68,17 +69,19 @@ def construct_good_runs(
         previous_vector = stages[-1]
         evaluator = Evaluator(system, previous_vector, pattern_hide=pattern_hide)
         updated: dict[Principal, frozenset[str]] = {}
-        for principal in system.principals():
-            good = current[principal]
-            for formula in assumptions.stratum(principal, depth):
-                assert isinstance(formula, Believes)
-                body = formula.body
-                good = frozenset(
-                    name
-                    for name in good
-                    if evaluator.evaluate(body, system.run(name), 0)
-                )
-            updated[principal] = good
+        with spans.span("goodruns.stage", depth=depth) as attrs:
+            for principal in system.principals():
+                good = current[principal]
+                for formula in assumptions.stratum(principal, depth):
+                    assert isinstance(formula, Believes)
+                    body = formula.body
+                    good = frozenset(
+                        name
+                        for name in good
+                        if evaluator.evaluate(body, system.run(name), 0)
+                    )
+                updated[principal] = good
+            attrs["survivors"] = sum(len(good) for good in updated.values())
         current = updated
         stages.append(GoodRunVector.of(current))
 

@@ -22,6 +22,17 @@ Mrecv the messages P has received by k:
 The environment is exempt from WF4 and WF5: a malicious environment may
 lie in from fields and "forward" things it never saw — and axiom A14 and
 the ``said`` semantics hold it accountable when it does.
+
+We additionally check **WFB**, the *buffer-discipline* invariant the
+paper's system model implies but never states as a numbered restriction:
+at every state after the first, each principal's in-transit buffer holds
+exactly the messages sent to it and not yet received (counted as a
+multiset, clamped below at zero so a phantom receive is WF2's problem,
+not a negative expectation).  The builder maintains this by
+construction; hand-built runs that never populate buffers are exempt
+(belief semantics does not read buffers, so their absence is benign) —
+but a run that *does* track buffers and lets them drift from the
+history is reporting a state the history contradicts.
 """
 
 from __future__ import annotations
@@ -82,6 +93,7 @@ def iter_violations(run: Run) -> Iterator[Violation]:
     yield from _check_wf1(run)
     yield from _check_wf2(run)
     yield from _check_send_conditions(run)
+    yield from _check_buffer_discipline(run)
 
 
 def _check_wf0(run: Run) -> Iterator[Violation]:
@@ -199,3 +211,58 @@ def _check_component(
                 k,
                 f"forwarded {component.body} without having seen it",
             )
+
+
+def _check_buffer_discipline(run: Run) -> Iterator[Violation]:
+    """WFB: buffers hold exactly the sent-but-not-yet-received messages.
+
+    Only principals that have a buffer *entry* in some state are
+    checked — hand-built runs that never populate ``env.buffers`` model
+    delivery implicitly and are exempt.  The first state is skipped
+    (a non-empty initial buffer is WF0's finding, reported once, not
+    re-reported at every subsequent time).  Expectations are clamped at
+    zero per message so a receive of something never sent stays a pure
+    WF2 violation.
+    """
+    tracked: set[Principal] = set()
+    for state in run.states:
+        for principal, _buffer in state.env.buffers:
+            tracked.add(principal)
+    if not tracked:
+        return
+    for k in run.times:
+        if k == run.start_time:
+            continue
+        env = run.state(k).env
+        sent: dict[tuple[Principal, Message], int] = {}
+        received: dict[tuple[Principal, Message], int] = {}
+        for who, action in env.history:
+            if isinstance(action, Send):
+                key = (action.recipient, action.message)
+                sent[key] = sent.get(key, 0) + 1
+            elif isinstance(action, Receive):
+                key = (who, action.message)
+                received[key] = received.get(key, 0) + 1
+        for principal in tracked:
+            buffer = env.buffer(principal)
+            actual: dict[Message, int] = {}
+            for message in buffer:
+                actual[message] = actual.get(message, 0) + 1
+            messages = set(actual)
+            messages.update(
+                message for (to, message) in sent if to == principal
+            )
+            for message in sorted(messages, key=str):
+                key = (principal, message)
+                expected = max(
+                    0, sent.get(key, 0) - received.get(key, 0)
+                )
+                have = actual.get(message, 0)
+                if have != expected:
+                    yield Violation(
+                        "WFB",
+                        principal,
+                        k,
+                        f"buffer holds {have}x {message}, "
+                        f"history implies {expected} in transit",
+                    )

@@ -1,0 +1,38 @@
+"""Observability: spans, explanation traces, and run metadata.
+
+Three layers, complementing the flat hit/miss counters of
+:mod:`repro.perf`:
+
+* :mod:`repro.obs.spans` — named wall-clock spans with percentile
+  summaries; buffered process-wide, shipped across worker processes as
+  deltas and merged losslessly (the ``spans`` section of
+  ``BENCH_sweep.json``);
+* :mod:`repro.obs.trace` — the opt-in evaluation tracer: the full
+  "why-false" proof tree behind any verdict of the Section 6 truth
+  definition, renderable or emitted as JSONL (``python -m repro
+  trace``);
+* :mod:`repro.obs.runmeta` — git SHA / interpreter / platform
+  fingerprints embedded in benchmark and fuzz reports so trajectories
+  are attributable across machines.
+"""
+
+from repro.obs import spans
+from repro.obs.runmeta import git_sha, run_metadata
+from repro.obs.trace import (
+    TraceNode,
+    Tracer,
+    render_why,
+    trace_evaluation,
+    trace_records,
+)
+
+__all__ = [
+    "spans",
+    "git_sha",
+    "run_metadata",
+    "TraceNode",
+    "Tracer",
+    "render_why",
+    "trace_evaluation",
+    "trace_records",
+]

@@ -1,0 +1,251 @@
+"""Wall-clock spans: the timing half of the observability layer.
+
+Where :mod:`repro.perf` answers "how often did each cache hit?", this
+module answers "where did the time go?".  A *span* is one named,
+monotonic-clock-timed region of work (``with spans.span("sweep.schema",
+schema="A1"): ...``); completed spans land in a process-wide buffer as
+plain dicts, so they pickle, merge across processes, and serialize to
+JSONL without any machinery.
+
+Design points, mirroring ``perf``:
+
+* **Zero dependencies** — stdlib only, importable from anywhere.
+* **Thread-safe** — buffer appends take a lock; the timing itself is
+  lock-free (``time.perf_counter`` before/after).
+* **Process-safe by delta shipping** — a worker records spans locally,
+  computes ``delta_since(mark)``, and ships the plain-data delta home;
+  the parent ``merge()``s it.  Executor processes are reused across
+  shards, so deltas (not raw buffers) are the unit of transport,
+  exactly like ``perf`` counter deltas.
+* **Coarse-grained by convention** — spans wrap phases (a schema sweep,
+  a good-runs stage, a fuzz iteration), not individual ``_eval`` calls;
+  buffers stay small and summaries stay meaningful.  The per-formula
+  story belongs to :mod:`repro.obs.trace`.
+
+``summary()`` reduces the buffer to per-name count/total/min/max plus
+p50/p95/p99 percentiles (nearest-rank); ``histogram()`` buckets the
+durations on a log scale.  Both are derived views — the buffer of raw
+samples remains the single source of truth, which is what makes the
+parallel-sweep merge lossless.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Mapping
+
+
+class SpanRecorder:
+    """A buffer of completed spans, safe to share across threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buffer: list[dict[str, Any]] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, name: str, seconds: float, **attrs: Any) -> None:
+        """Append one completed span (``seconds`` of wall-clock time)."""
+        sample: dict[str, Any] = {"name": name, "seconds": seconds}
+        if attrs:
+            sample["attrs"] = attrs
+        with self._lock:
+            self._buffer.append(sample)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[dict[str, Any]]:
+        """Time a region of work on the monotonic clock.
+
+        Yields the (mutable) attribute dict, so callers can attach
+        results that only exist once the work is done::
+
+            with spans.span("goodruns.stage", depth=j) as attrs:
+                ...
+                attrs["survivors"] = count
+        """
+        start = time.perf_counter()
+        try:
+            yield attrs
+        finally:
+            self.record(name, time.perf_counter() - start, **attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration marker (a point event)."""
+        self.record(name, 0.0, **attrs)
+
+    # -- transport (the parallel-sweep contract) ------------------------------
+
+    def mark(self) -> int:
+        """A position in the buffer; pair with :meth:`delta_since`."""
+        with self._lock:
+            return len(self._buffer)
+
+    def delta_since(self, mark: int) -> list[dict[str, Any]]:
+        """Every span recorded after ``mark``, as plain picklable data."""
+        with self._lock:
+            return [dict(sample) for sample in self._buffer[mark:]]
+
+    def merge(self, samples: Iterable[Mapping[str, Any]]) -> None:
+        """Fold another process's span delta into this buffer."""
+        with self._lock:
+            for sample in samples:
+                self._buffer.append(dict(sample))
+
+    # -- views ----------------------------------------------------------------
+
+    def snapshot(self) -> tuple[dict[str, Any], ...]:
+        with self._lock:
+            return tuple(dict(sample) for sample in self._buffer)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._buffer.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    def summary(self) -> dict[str, dict[str, Any]]:
+        """Per-name count/total/min/max/p50/p95/p99, from the buffer."""
+        return summarize(self.snapshot())
+
+    def histogram(self, name: str, base: float = 2.0) -> list[tuple[float, int]]:
+        """Log-bucketed duration counts for one span name.
+
+        Buckets are ``(upper_edge_seconds, count)`` with edges at
+        integer powers of ``base`` (micro-second floor); zero-duration
+        events land in the first bucket.
+        """
+        durations = [
+            sample["seconds"] for sample in self.snapshot()
+            if sample["name"] == name
+        ]
+        if not durations:
+            return []
+        counts: dict[int, int] = {}
+        for seconds in durations:
+            exponent = (
+                math.ceil(math.log(seconds, base)) if seconds > 1e-6 else
+                math.ceil(math.log(1e-6, base))
+            )
+            counts[exponent] = counts.get(exponent, 0) + 1
+        return [
+            (base ** exponent, counts[exponent])
+            for exponent in sorted(counts)
+        ]
+
+    def render(self) -> str:
+        """Human-readable span table (the ``perf`` CLI companion)."""
+        summary = self.summary()
+        header = (
+            f"{'span':<26} {'count':>6} {'total_s':>9} {'p50_s':>9} "
+            f"{'p95_s':>9} {'p99_s':>9} {'max_s':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in sorted(summary):
+            row = summary[name]
+            lines.append(
+                f"{name:<26} {row['count']:>6} {row['total_s']:>9.4f} "
+                f"{row['p50_s']:>9.4f} {row['p95_s']:>9.4f} "
+                f"{row['p99_s']:>9.4f} {row['max_s']:>9.4f}"
+            )
+        return "\n".join(lines)
+
+    def write_jsonl(self, path: str) -> int:
+        """Dump the buffer as JSONL (one span per line); returns count."""
+        samples = self.snapshot()
+        with open(path, "w", encoding="utf-8") as handle:
+            for sample in samples:
+                handle.write(json.dumps(sample, sort_keys=True) + "\n")
+        return len(samples)
+
+
+def percentile(durations: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty, *sorted* duration list."""
+    if not durations:
+        raise ValueError("percentile of an empty sample set")
+    rank = max(1, math.ceil(q / 100.0 * len(durations)))
+    return durations[rank - 1]
+
+
+def summarize(
+    samples: Iterable[Mapping[str, Any]]
+) -> dict[str, dict[str, Any]]:
+    """Reduce raw span samples to per-name timing statistics."""
+    by_name: dict[str, list[float]] = {}
+    for sample in samples:
+        by_name.setdefault(sample["name"], []).append(sample["seconds"])
+    out: dict[str, dict[str, Any]] = {}
+    for name, durations in by_name.items():
+        durations.sort()
+        out[name] = {
+            "count": len(durations),
+            "total_s": round(sum(durations), 6),
+            "min_s": round(durations[0], 6),
+            "max_s": round(durations[-1], 6),
+            "p50_s": round(percentile(durations, 50), 6),
+            "p95_s": round(percentile(durations, 95), 6),
+            "p99_s": round(percentile(durations, 99), 6),
+        }
+    return out
+
+
+#: The process-wide default recorder; the module-level functions below
+#: delegate to it, mirroring the ``perf.counters`` singleton.
+_RECORDER = SpanRecorder()
+
+
+def recorder() -> SpanRecorder:
+    return _RECORDER
+
+
+def span(name: str, **attrs: Any):
+    return _RECORDER.span(name, **attrs)
+
+
+def record(name: str, seconds: float, **attrs: Any) -> None:
+    _RECORDER.record(name, seconds, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    _RECORDER.event(name, **attrs)
+
+
+def mark() -> int:
+    return _RECORDER.mark()
+
+
+def delta_since(position: int) -> list[dict[str, Any]]:
+    return _RECORDER.delta_since(position)
+
+
+def merge(samples: Iterable[Mapping[str, Any]]) -> None:
+    _RECORDER.merge(samples)
+
+
+def snapshot() -> tuple[dict[str, Any], ...]:
+    return _RECORDER.snapshot()
+
+
+def reset() -> None:
+    _RECORDER.reset()
+
+
+def summary() -> dict[str, dict[str, Any]]:
+    return _RECORDER.summary()
+
+
+def histogram(name: str, base: float = 2.0) -> list[tuple[float, int]]:
+    return _RECORDER.histogram(name, base)
+
+
+def render() -> str:
+    return _RECORDER.render()
+
+
+def write_jsonl(path: str) -> int:
+    return _RECORDER.write_jsonl(path)

@@ -152,19 +152,29 @@ def write_bench_json(
     path: str,
     measurements: Mapping[str, Any],
     parameters: Mapping[str, Any] | None = None,
+    spans: Mapping[str, Any] | None = None,
+    meta: Mapping[str, Any] | None = None,
 ) -> None:
     """Write a machine-readable benchmark record (``BENCH_sweep.json``).
 
     The file is a single JSON object: ``parameters`` echoes the workload
     knobs, ``measurements`` holds named timings (seconds) and counts,
     and ``perf`` embeds the counter snapshot so regressions in cache
-    behaviour are visible alongside the timings.
+    behaviour are visible alongside the timings.  Optionally, ``spans``
+    carries a :func:`repro.obs.spans.summary` (per-phase wall-clock
+    percentiles) and ``meta`` a :func:`repro.obs.runmeta.run_metadata`
+    fingerprint — both kept as caller-supplied plain mappings so this
+    module stays importable from the bottom of the stack.
     """
     record = {
         "parameters": dict(parameters or {}),
         "measurements": dict(measurements),
         "perf": snapshot(),
     }
+    if spans is not None:
+        record["spans"] = dict(spans)
+    if meta is not None:
+        record["meta"] = dict(meta)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")

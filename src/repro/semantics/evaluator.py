@@ -13,9 +13,13 @@ audits both derivation engines against it.
 
 from __future__ import annotations
 
-from typing import Iterator
+import weakref
+from typing import Iterator, TYPE_CHECKING
 
 from repro import perf
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.obs.trace import Tracer
 from repro.errors import SemanticsError
 from repro.model.runs import Run
 from repro.model.submsgs import said_submsgs, seen_submsgs_all
@@ -48,6 +52,29 @@ from repro.terms.formulas import (
 from repro.terms.messages import Combined, Encrypted
 from repro.terms.ops import free_parameters, is_ground, submessages_of_all, substitute
 
+#: Live evaluators, so the per-instance memo tables participate in the
+#: process-wide cache registry (``perf.clear_caches``/``cache_sizes``)
+#: like every other memoization layer.  Weak references: registration
+#: must not keep finished evaluators (and their systems) alive.
+_EVALUATORS: "weakref.WeakSet[Evaluator]" = weakref.WeakSet()
+
+
+def _clear_evaluator_memos() -> None:
+    for evaluator in list(_EVALUATORS):
+        evaluator._memo.clear()
+        evaluator._hidden.clear()
+        evaluator._possible.clear()
+        evaluator._said.clear()
+        evaluator._seen.clear()
+        evaluator._past.clear()
+
+
+perf.register_cache(
+    "eval_memo",
+    _clear_evaluator_memos,
+    lambda: sum(len(evaluator._memo) for evaluator in list(_EVALUATORS)),
+)
+
 
 class Evaluator:
     """Evaluates formulas at points of a system.
@@ -59,6 +86,9 @@ class Evaluator:
             i.e. belief degenerates to hidden-state knowledge.
         pattern_hide: use the pattern variant of ``hide`` that preserves
             ciphertext identity (see :mod:`repro.semantics.hide`).
+        tracer: an optional :class:`repro.obs.trace.Tracer` recording
+            the evaluation tree of every ``evaluate`` call.  ``None``
+            (the default) keeps the hot path at one attribute check.
     """
 
     def __init__(
@@ -66,32 +96,33 @@ class Evaluator:
         system: System,
         goodruns: GoodRunVector | None = None,
         pattern_hide: bool = False,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.system = system
         self.goodruns = goodruns or GoodRunVector()
         self.pattern_hide = pattern_hide
+        self.tracer = tracer
         self._memo: dict[tuple[Formula, str, int], bool] = {}
         self._hidden: dict[tuple[Principal, str, int], HiddenView] = {}
         self._possible: dict[Principal, dict[HiddenView, list[Point]]] = {}
         self._said: dict[tuple[Principal, str], tuple[tuple[int, frozenset], ...]] = {}
         self._seen: dict[tuple[Principal, str, int], frozenset] = {}
         self._past: dict[str, frozenset] = {}
-        self._memo_hits = 0
-        self._memo_misses = 0
+        _EVALUATORS.add(self)
 
     # -- public API -------------------------------------------------------------
 
     def cache_stats(self) -> dict[str, int]:
-        """Sizes and hit counts of this evaluator's internal memo tables.
+        """Sizes of this evaluator's internal memo tables.
 
-        The truth memo (``memo_*``) is per-evaluator; the term-level
-        caches (interning, ops, hide) are process-global — see
-        :func:`repro.perf.snapshot` for those.
+        Hit/miss counts live in :data:`repro.perf.counters` under
+        ``eval_memo.hit``/``eval_memo.miss`` — the one canonical
+        accounting, shared with every other memoization layer (the
+        evaluator registers its memos with ``perf`` like the rest; see
+        :func:`repro.perf.snapshot`).
         """
         return {
             "memo_entries": len(self._memo),
-            "memo_hits": self._memo_hits,
-            "memo_misses": self._memo_misses,
             "hidden_views": len(self._hidden),
             "possible_indexes": len(self._possible),
             "said_entries": len(self._said),
@@ -131,17 +162,53 @@ class Evaluator:
     # -- the truth definition ------------------------------------------------------
 
     def _eval(self, formula: Formula, run: Run, k: int) -> bool:
+        if self.tracer is not None:
+            return self._eval_traced(formula, run, k)
         key = (formula, run.name, k)
         cached = self._memo.get(key)
         if cached is not None:
-            self._memo_hits += 1
             perf.count("eval_memo.hit")
             return cached
-        self._memo_misses += 1
         perf.count("eval_memo.miss")
         value = self._eval_uncached(formula, run, k)
         self._memo[key] = value
         return value
+
+    def _eval_traced(self, formula: Formula, run: Run, k: int) -> bool:
+        """The ``_eval`` body with the explanation tracer on the hook."""
+        tracer = self.tracer
+        node = tracer.enter(formula, run.name, k)
+        try:
+            key = (formula, run.name, k)
+            cached = self._memo.get(key)
+            if cached is not None:
+                perf.count("eval_memo.hit")
+                value, was_cached = cached, True
+            else:
+                perf.count("eval_memo.miss")
+                value = self._eval_uncached(formula, run, k)
+                self._memo[key] = value
+                was_cached = False
+            # Belief nodes carry their possibility-set size even when
+            # the memo answered — the count is what makes a "why-false"
+            # tree auditable, and the index lookup is O(1) once warm.
+            if type(formula) is Believes and isinstance(
+                formula.principal, Principal
+            ):
+                try:
+                    points = self.possible_points(formula.principal, run, k)
+                except SemanticsError:
+                    pass
+                else:
+                    node.attrs["possible_points"] = len(points)
+                    node.attrs["hidden_view_width"] = len(
+                        self._hidden_view(formula.principal, run, k)
+                    )
+            tracer.exit(node, value, was_cached)
+            return value
+        except BaseException:
+            tracer.abandon(node)
+            raise
 
     def _eval_uncached(self, formula: Formula, run: Run, k: int) -> bool:
         match formula:
@@ -187,6 +254,8 @@ class Evaluator:
                 return self._believes(_principal(principal), body, run, k)
             case ForAll(variable, body):
                 constants = self.system.vocabulary.constants(variable.value_sort)
+                if self.tracer is not None:
+                    self.tracer.annotate(domain=len(constants))
                 return all(
                     self._eval(substitute(body, {variable: constant}), run, k)
                     for constant in constants

@@ -23,6 +23,7 @@ from typing import Iterable, Sequence
 
 from repro import perf
 from repro.logic.axioms import AXIOMS, InstancePool, Schema
+from repro.obs import spans
 from repro.logic.rules import transparent
 from repro.model.actions import Send
 from repro.model.system import System
@@ -269,17 +270,20 @@ def _sweep_in_process(
         instances = itertools.islice(
             schema.instances(pool), max_instances_per_schema
         )
-        for instance in instances:
-            schema_report.instances += 1
-            for run, k in points:
-                schema_report.points_checked += 1
-                if evaluator.evaluate(instance, run, k):
-                    continue
-                if len(schema_report.violations) < max_violations_per_schema:
-                    schema_report.violations.append(
-                        _record(schema.name, instance, run.name, k,
-                                evaluator, run, k)
-                    )
+        with spans.span("sweep.schema", schema=schema.name) as attrs:
+            for instance in instances:
+                schema_report.instances += 1
+                for run, k in points:
+                    schema_report.points_checked += 1
+                    if evaluator.evaluate(instance, run, k):
+                        continue
+                    if len(schema_report.violations) < max_violations_per_schema:
+                        schema_report.violations.append(
+                            _record(schema.name, instance, run.name, k,
+                                    evaluator, run, k)
+                        )
+            attrs["instances"] = schema_report.instances
+            attrs["points"] = schema_report.points_checked
     return report
 
 
@@ -389,16 +393,19 @@ def _sweep_shard(
     max_instances_per_schema: int,
     pattern_hide: bool,
     max_violations_per_schema: int,
-) -> tuple[SweepReport, dict[str, int]]:
+) -> tuple[SweepReport, dict[str, int], list[dict]]:
     """Worker entry point: one system, one contiguous slice of schemas.
 
-    Returns the shard report *and* the perf-counter delta the shard
-    produced, so the parent can merge worker cache statistics into its
-    own table (``BENCH_sweep.json`` would otherwise under-report
-    hits/misses for parallel runs).  The delta — not the raw table — is
-    returned because executor processes are reused across shards.
+    Returns the shard report, the perf-counter delta, *and* the span
+    delta the shard produced, so the parent can merge worker cache
+    statistics and wall-clock spans into its own tables
+    (``BENCH_sweep.json`` would otherwise under-report hits/misses and
+    lose per-schema timings for parallel runs).  Deltas — not raw
+    tables/buffers — are the transport unit because executor processes
+    are reused across shards.
     """
     before = dict(perf.counters)
+    span_mark = spans.mark()
     schemas = tuple(AXIOMS[name] for name in schema_names)
     report = _sweep_in_process(
         system, schemas, goodruns, max_instances_per_schema,
@@ -409,7 +416,7 @@ def _sweep_shard(
         for event, n in perf.counters.items()
         if n != before.get(event, 0)
     }
-    return report, delta
+    return report, delta, spans.delta_since(span_mark)
 
 
 def _sweep_parallel(
@@ -442,22 +449,27 @@ def _sweep_parallel(
     perf.count("sweep.parallel_shards", len(shards))
     total = SweepReport()
     try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as pool:
-            futures = [
-                pool.submit(
-                    _sweep_shard, system, group, goodruns,
-                    max_instances_per_schema, pattern_hide,
-                    max_violations_per_schema,
-                )
-                for system, group in shards
-            ]
-            # Merge in submission order: (system, schema-slice) order
-            # matches the sequential sweep, so totals, violation lists,
-            # and renders are identical to workers=1.
-            for future in futures:
-                report, counter_delta = future.result()
-                total.merge(report)
-                perf.merge_counters(counter_delta)
+        with spans.span("sweep.pool", shards=len(shards),
+                        workers=min(workers, len(shards))):
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(shards))
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _sweep_shard, system, group, goodruns,
+                        max_instances_per_schema, pattern_hide,
+                        max_violations_per_schema,
+                    )
+                    for system, group in shards
+                ]
+                # Merge in submission order: (system, schema-slice) order
+                # matches the sequential sweep, so totals, violation
+                # lists, and renders are identical to workers=1.
+                for future in futures:
+                    report, counter_delta, span_delta = future.result()
+                    total.merge(report)
+                    perf.merge_counters(counter_delta)
+                    spans.merge(span_delta)
     except (OSError, PermissionError):
         # No subprocess support on this platform/sandbox.
         return None

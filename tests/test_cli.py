@@ -55,3 +55,60 @@ class TestCLI:
 
     def test_certify_unknown_goal(self, capsys):
         assert main(["analyze", "kerberos", "--certify", "nope"]) == 2
+
+    def test_trace_schema(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "TRACE_report.jsonl"
+        assert main([
+            "trace", "--systems", "1", "--schema", "A3",
+            "--instances", "1", "--output", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "evaluations" in out and f"wrote {out_path}" in out
+        lines = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert lines[0]["record"] == "meta"
+        assert lines[0]["python"]
+        traces = [line for line in lines[1:] if line["record"] == "trace"]
+        assert traces and all(t["schema"] == "A3" for t in traces)
+        roots = [t for t in traces if t["parent"] is None]
+        assert roots and all(t["verdict"] is True for t in roots)
+
+    def test_trace_formula_why_false(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "TRACE_report.jsonl"
+        assert main([
+            "trace", "--systems", "1",
+            "--formula", "P1 believes p0",
+            "--only-failures", "--output", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "first why-false tree:" in out
+        assert "✗ Believes" in out
+        assert "possible_points=" in out
+        lines = [json.loads(line) for line in out_path.read_text().splitlines()]
+        roots = [
+            line for line in lines[1:]
+            if line["record"] == "trace" and line["parent"] is None
+        ]
+        assert roots and all(root["verdict"] is False for root in roots)
+
+    def test_trace_unknown_schema(self, capsys):
+        assert main(["trace", "--schema", "ZZ"]) == 2
+
+    def test_perf_reports_spans_and_meta(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_sweep.json"
+        assert main([
+            "perf", "--systems", "1", "--instances", "10",
+            "--output", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sweep.schema" in out and "p95_s" in out
+        record = json.loads(out_path.read_text())
+        assert "sweep.schema" in record["spans"]
+        assert record["spans"]["sweep.schema"]["count"] > 0
+        assert record["meta"]["python"]
+        assert record["meta"]["command"] == "perf"

@@ -102,9 +102,14 @@ class TestParallelSweepCounters:
         system = generate_system(GeneratorConfig(seed=11))
         (shard_system, group) = self._shards(system, 1)[0]
         perf.count("preexisting.hit", 99)
-        _report, delta = _sweep_shard(shard_system, group, None, 5, False, 25)
+        _report, delta, span_delta = _sweep_shard(
+            shard_system, group, None, 5, False, 25
+        )
         assert "preexisting.hit" not in delta
         assert any(event.startswith("eval_memo.") for event in delta)
+        # The span delta is likewise shard-local: one sweep.schema span
+        # per schema in the slice, nothing from before the mark.
+        assert [s["name"] for s in span_delta].count("sweep.schema") == len(group)
 
     def test_bench_snapshot_includes_worker_counters(self):
         system = generate_system(GeneratorConfig(seed=4))

@@ -1,0 +1,149 @@
+"""Tests for WFB, the buffer-discipline well-formedness check.
+
+WFB pins the invariant the builder maintains by construction: at every
+state after the first, a tracked principal's in-transit buffer holds
+exactly the messages sent to it and not yet received.  The check must
+stay quiet on builder output and hand-built (bufferless) runs, fire on
+a pinned minimal tampered run, and compose with the fault-injection
+contract (the ``buffer_junk`` mutator is classified exactly WFB).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.fuzz.mutators import mutate_buffer_junk
+from repro.model import RunBuilder
+from repro.model.wellformed import check_run, violation_classes
+from repro.soundness import GeneratorConfig, generate_system
+from repro.terms import Key, Nonce, Principal
+
+A = Principal("A")
+B = Principal("B")
+K = Key("K")
+N = Nonce("N")
+M = Nonce("M")
+
+
+def _send_receive_run(name="r"):
+    builder = RunBuilder([A, B], keysets={A: [K], B: [K]})
+    builder.send(A, N, B)
+    builder.receive(B)
+    return builder.build(name)
+
+
+def _tamper_final_buffer(run, principal, message):
+    """Append ``message`` to ``principal``'s buffer in the final state."""
+    last = run.states[-1]
+    buffers = dict(last.env.buffer_map)
+    buffers[principal] = buffers.get(principal, ()) + (message,)
+    state = last.with_env(last.env.with_buffers(buffers))
+    return replace(run, states=run.states[:-1] + (state,))
+
+
+class TestBufferDiscipline:
+    def test_builder_runs_are_wfb_clean(self):
+        assert check_run(_send_receive_run()) == []
+
+    def test_generated_systems_are_wfb_clean(self):
+        system = generate_system(GeneratorConfig(seed=2))
+        for run in system.runs:
+            assert violation_classes(run) == frozenset()
+
+    def test_pinned_minimal_junk_run(self):
+        """The minimal WFB reproduction: one junk message slipped into
+        the final buffer of an otherwise perfect send/receive run."""
+        run = _tamper_final_buffer(_send_receive_run(), B, M)
+        violations = check_run(run)
+        assert [v.condition for v in violations] == ["WFB"]
+        (violation,) = violations
+        assert violation.principal == B
+        assert violation.time == run.end_time
+        assert "buffer holds 1x M" in violation.detail
+        assert "implies 0 in transit" in violation.detail
+
+    def test_vanished_in_transit_message_is_wfb(self):
+        builder = RunBuilder([A, B], keysets={A: [K], B: [K]})
+        builder.send(A, N, B)  # in transit, never received
+        run = builder.build("r")
+        last = run.states[-1]
+        buffers = dict(last.env.buffer_map)
+        assert buffers[B] == (N,)
+        buffers[B] = ()
+        state = last.with_env(last.env.with_buffers(buffers))
+        tampered = replace(run, states=run.states[:-1] + (state,))
+        assert violation_classes(tampered) == frozenset({"WFB"})
+
+    def test_first_state_is_wf0_jurisdiction(self):
+        """A pre-seeded initial buffer is exactly WF0, not WFB: the
+        tampered first state is skipped and later states are judged
+        against their own histories."""
+        run = _send_receive_run()
+        first = run.states[0]
+        buffers = dict(first.env.buffer_map)
+        buffers[B] = (M,)
+        state = first.with_env(first.env.with_buffers(buffers))
+        tampered = replace(run, states=(state,) + run.states[1:])
+        assert violation_classes(tampered) == frozenset({"WF0"})
+
+    def test_bufferless_handbuilt_runs_exempt(self):
+        """Runs that never track buffers (states built directly, not via
+        the builder) model delivery implicitly and are not judged."""
+        from repro.model.states import GlobalState
+
+        builder = RunBuilder([A, B], keysets={A: [K], B: [K]})
+        builder.send(A, N, B)
+        run = builder.build("r")
+        # Strip every buffer entry, mimicking a hand-built run.
+        states = tuple(
+            state.with_env(
+                replace(state.env, buffers=())
+            )
+            for state in run.states
+        )
+        stripped = replace(run, states=states)
+        assert "WFB" not in violation_classes(stripped)
+
+    def test_phantom_receive_is_pure_wf2(self):
+        """Receiving a never-sent message must not double-report as WFB:
+        the expectation clamps at zero rather than going negative."""
+        from repro.fuzz.mutators import mutate_receive_unsent
+
+        system = generate_system(GeneratorConfig(seed=1, runs=1))
+        mutation = None
+        for attempt in range(10):
+            mutation = mutate_receive_unsent(
+                random.Random(attempt), system.runs[0]
+            )
+            if mutation is not None:
+                break
+        assert mutation is not None
+        assert violation_classes(mutation.run) == frozenset({"WF2"})
+
+
+class TestBufferJunkMutator:
+    def test_classified_exactly_wfb(self):
+        system = generate_system(GeneratorConfig(seed=0, runs=2))
+        rng = random.Random("buffer_junk")
+        hits = 0
+        for run in system.runs:
+            mutation = mutate_buffer_junk(rng, run)
+            if mutation is None:
+                continue
+            hits += 1
+            assert mutation.expected == frozenset({"WFB"})
+            assert mutation.exact
+            assert violation_classes(mutation.run) == frozenset({"WFB"})
+        assert hits > 0
+
+    def test_requires_tracked_buffers(self):
+        run = _send_receive_run()
+        states = tuple(
+            state.with_env(replace(state.env, buffers=()))
+            for state in run.states
+        )
+        stripped = replace(run, states=states)
+        assert mutate_buffer_junk(random.Random(0), stripped) is None
