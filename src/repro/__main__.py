@@ -27,12 +27,16 @@ Commands
     (default ``TRACE_report.jsonl``), and print the first "why-false"
     proof tree encountered.
 
-``fuzz [--seed S] [--iterations N] [--report PATH] [--parallel-every K]``
+``fuzz [--seed S] [--iterations N] [--report PATH] [--oracles F,..]``
     Run the differential fuzzing and fault-injection campaign: random
     well-formed systems, WF fault injection with classification
-    oracles, evaluator cache/hide/ground-path differentials, and a
-    periodic parallel-vs-sequential sweep comparison.  Writes a JSON
-    report (default ``FUZZ_report.json``) with shrunk counterexamples.
+    oracles, evaluator cache/hide/ground-path differentials,
+    engine-vs-semantics derivation replay, adversarial proof mutation,
+    per-workload interpretation fuzzing, and a periodic
+    parallel-vs-sequential sweep comparison.  ``--oracles`` selects a
+    comma-separated subset of the families (default: all).  Writes a
+    JSON report (default ``FUZZ_report.json``) with shrunk
+    counterexamples.
 
 ``cointoss``
     Walk the Section 7 construction and optimality story (E5-E7).
@@ -261,13 +265,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.fuzz import FuzzConfig, run_fuzz
+    from repro.fuzz import ORACLE_FAMILIES, FuzzConfig, run_fuzz
 
+    if args.oracles.strip().lower() == "all":
+        oracles = ORACLE_FAMILIES
+    else:
+        oracles = tuple(
+            name.strip() for name in args.oracles.split(",") if name.strip()
+        )
+        unknown = set(oracles) - set(ORACLE_FAMILIES)
+        if unknown:
+            print(
+                f"unknown oracle families {sorted(unknown)}; "
+                f"choose from {', '.join(ORACLE_FAMILIES)}"
+            )
+            return 2
     config = FuzzConfig(
         seed=args.seed,
         iterations=args.iterations,
         parallel_every=args.parallel_every,
         parallel_workers=args.workers,
+        oracles=oracles,
     )
     report = run_fuzz(config)
     print(report.render())
@@ -388,6 +406,12 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_parser.add_argument(
         "--workers", type=int, default=2,
         help="process-pool width for the parallel-sweep oracle",
+    )
+    fuzz_parser.add_argument(
+        "--oracles", default="all",
+        help="comma-separated oracle families to run (wf, differential, "
+             "parallel, engine_replay, proof_mutation, interpretation; "
+             "default: all)",
     )
 
     sub.add_parser("cointoss", help="the Section 7 story (E5-E7)")

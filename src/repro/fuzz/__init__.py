@@ -8,18 +8,38 @@ those invariants differentially instead of trusting the hand-built
 protocol systems:
 
 * :mod:`repro.fuzz.generate` — seeded random workload generation
-  (layered on the E3 system generator, well-formed by construction);
-* :mod:`repro.fuzz.mutators` — fault injectors, each tagged with the
-  WF condition it should trip (or with none, for benign mutations);
+  (layered on the E3 system generator, well-formed by construction),
+  including per-workload Prim interpretation randomization;
+* :mod:`repro.fuzz.mutators` — run fault injectors, each tagged with
+  the WF condition it should trip (or with none, for benign mutations);
+* :mod:`repro.fuzz.proof_mutators` — adversarial mutations of checked
+  Hilbert proofs, tagged with the verdict the checker must return;
 * :mod:`repro.fuzz.oracles` — the WF-classification oracle and the
   cache/interning, hide, ground-path, and parallel-sweep differentials;
-* :mod:`repro.fuzz.shrink` — greedy counterexample minimization;
+* :mod:`repro.fuzz.logic_oracles` — the derivation-layer oracles:
+  engine-vs-semantics replay, proof-mutation checking, and Prim
+  interpretation agreement;
+* :mod:`repro.fuzz.shrink` — greedy counterexample minimization for
+  runs, assumption sets, and proofs;
 * :mod:`repro.fuzz.harness` — the campaign driver and JSON report
   behind ``python -m repro fuzz``.
 """
 
-from repro.fuzz.generate import FuzzConfig, generate_base_system
+from repro.fuzz.generate import (
+    ORACLE_FAMILIES,
+    FuzzConfig,
+    generate_base_system,
+    randomize_interpretation,
+)
 from repro.fuzz.harness import Counterexample, FuzzReport, run_fuzz
+from repro.fuzz.logic_oracles import (
+    REPLAY_EXCLUDED_RULES,
+    check_engine_replay,
+    check_interpretation_agreement,
+    check_proof_mutation,
+    replay_rules,
+    sample_assumptions,
+)
 from repro.fuzz.mutators import MUTATORS, Mutation, apply_random_mutator
 from repro.fuzz.oracles import (
     OracleFailure,
@@ -31,14 +51,33 @@ from repro.fuzz.oracles import (
     check_parallel_sweep,
     deintern,
 )
-from repro.fuzz.shrink import describe_run, shrink_run
+from repro.fuzz.proof_mutators import (
+    PROOF_MUTATORS,
+    ProofMutation,
+    apply_random_proof_mutator,
+)
+from repro.fuzz.shrink import (
+    describe_proof,
+    describe_run,
+    shrink_assumptions,
+    shrink_proof,
+    shrink_run,
+)
 
 __all__ = [
+    "ORACLE_FAMILIES",
     "FuzzConfig",
     "generate_base_system",
+    "randomize_interpretation",
     "Counterexample",
     "FuzzReport",
     "run_fuzz",
+    "REPLAY_EXCLUDED_RULES",
+    "check_engine_replay",
+    "check_interpretation_agreement",
+    "check_proof_mutation",
+    "replay_rules",
+    "sample_assumptions",
     "MUTATORS",
     "Mutation",
     "apply_random_mutator",
@@ -50,6 +89,12 @@ __all__ = [
     "check_mutation",
     "check_parallel_sweep",
     "deintern",
+    "PROOF_MUTATORS",
+    "ProofMutation",
+    "apply_random_proof_mutator",
+    "describe_proof",
     "describe_run",
+    "shrink_assumptions",
+    "shrink_proof",
     "shrink_run",
 ]

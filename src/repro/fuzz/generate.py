@@ -20,8 +20,22 @@ import dataclasses
 import random
 from dataclasses import dataclass
 
-from repro.model.system import System
+from repro.model.system import Interpretation, System
 from repro.soundness.generators import GeneratorConfig, generate_system
+from repro.terms.atoms import Sort
+
+#: The selectable oracle families (``fuzz --oracles``): WF fault
+#: injection/classification, the evaluator differentials, the periodic
+#: parallel-sweep comparison, engine-vs-semantics derivation replay,
+#: adversarial proof mutation, and interpretation fuzzing.
+ORACLE_FAMILIES: tuple[str, ...] = (
+    "wf",
+    "differential",
+    "parallel",
+    "engine_replay",
+    "proof_mutation",
+    "interpretation",
+)
 
 
 @dataclass(frozen=True)
@@ -40,6 +54,15 @@ class FuzzConfig:
     points_per_run: int = 3
     #: Formulas sampled from the instantiation pool per iteration.
     formulas_per_iteration: int = 6
+    #: Oracle families enabled for this campaign (see ORACLE_FAMILIES).
+    oracles: tuple[str, ...] = ORACLE_FAMILIES
+    #: True assumptions sampled per engine-replay workload.
+    replay_assumptions: int = 6
+    #: Engine resource bound for one replay closure (exceeding it skips
+    #: the iteration's replay rather than failing the campaign).
+    replay_max_facts: int = 4000
+    #: Proof mutations injected per iteration that certifies a proof.
+    proof_mutations_per_iteration: int = 2
 
 
 def iteration_rng(config: FuzzConfig, iteration: int) -> random.Random:
@@ -71,6 +94,34 @@ def generate_base_system(config: FuzzConfig, iteration: int) -> tuple[System, ra
     rng = iteration_rng(config, iteration)
     generator_config = random_generator_config(rng, iteration)
     return generate_system(generator_config), rng
+
+
+def randomize_interpretation(rng: random.Random, system: System) -> System:
+    """The system with a fresh seeded primitive-proposition interpretation.
+
+    The E3 generator fixes each proposition's truth at generation time
+    (run-level, constant within a run); this re-rolls it *per workload*
+    with point-level granularity, so the Prim/A12 plumbing is stressed
+    with interpretations the generator never produces.  The replacement
+    predicate is built with :meth:`Interpretation.from_table`, so it
+    stays plain picklable data and the parallel-sweep oracle keeps its
+    process-pool path.
+    """
+    propositions = sorted(system.constants(Sort.PROPOSITION), key=str)
+    if not propositions:
+        return system
+    table = {}
+    for proposition in propositions:
+        density = rng.choice((0.0, 0.25, 0.5, 1.0))
+        table[proposition] = [
+            (run.name, k)
+            for run in system.runs
+            for k in run.times
+            if rng.random() < density
+        ]
+    return dataclasses.replace(
+        system, interpretation=Interpretation.from_table(table)
+    )
 
 
 def shrink_generator_config(config: GeneratorConfig) -> list[GeneratorConfig]:

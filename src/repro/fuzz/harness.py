@@ -1,30 +1,54 @@
 """The fuzzing campaign driver and its JSON report.
 
 One iteration = one seeded workload: generate a well-formed base
-system, run the differential evaluator oracles over sampled formulas
-and points, inject one fault and check the WF oracle classifies it,
-and (periodically) replay the soundness sweep in parallel and compare
-renders.  Failures are greedily shrunk before being recorded, so the
-report carries minimal reproductions, not raw random noise.
+system, randomize its Prim interpretation, run the differential
+evaluator oracles over sampled formulas and points, inject one fault
+and check the WF oracle classifies it, close a true assumption set
+under the derivation engine and replay every derived fact against the
+semantics, certify a derivation into a Hilbert proof and attack the
+proof checker with surgical mutations, and (periodically) replay the
+soundness sweep in parallel and compare renders.  Failures are
+greedily shrunk before being recorded, so the report carries minimal
+reproductions, not raw random noise.
 
-Everything is a pure function of ``FuzzConfig.seed``: re-running with
-the same seed and iteration count reproduces every workload, mutation
-choice, and oracle verdict bit-for-bit.
+Oracle families can be selected per campaign (``FuzzConfig.oracles``,
+``fuzz --oracles``); everything is a pure function of
+``FuzzConfig.seed``: re-running with the same seed, iteration count,
+and family selection reproduces every workload, mutation choice, and
+oracle verdict bit-for-bit.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 from dataclasses import dataclass, field, replace as dc_replace
+from typing import Sequence
 
 from repro import perf
+from repro.errors import ProofError
+from repro.logic.certify import CertificationError, certify
+from repro.logic.engine import Derivation, Rule
+from repro.logic.proof import Proof
 from repro.model.system import System
 from repro.obs import run_metadata, spans
 from repro.obs.spans import summarize
 from repro.obs.trace import render_why, trace_evaluation
+from repro.semantics.evaluator import Evaluator
 
-from repro.fuzz.generate import FuzzConfig, generate_base_system
+from repro.fuzz.generate import (
+    ORACLE_FAMILIES,
+    FuzzConfig,
+    generate_base_system,
+    randomize_interpretation,
+)
+from repro.fuzz.logic_oracles import (
+    check_engine_replay,
+    check_interpretation_agreement,
+    check_proof_mutation,
+    sample_assumptions,
+)
 from repro.fuzz.mutators import MUTATORS, Mutation, apply_random_mutator
 from repro.fuzz.oracles import (
     OracleFailure,
@@ -38,7 +62,18 @@ from repro.fuzz.oracles import (
     sample_formulas,
     sample_points,
 )
-from repro.fuzz.shrink import describe_run, shrink_run
+from repro.fuzz.proof_mutators import (
+    PROOF_MUTATORS,
+    ProofMutation,
+    apply_random_proof_mutator,
+)
+from repro.fuzz.shrink import (
+    describe_proof,
+    describe_run,
+    shrink_assumptions,
+    shrink_proof,
+    shrink_run,
+)
 
 
 @dataclass
@@ -79,6 +114,8 @@ class FuzzReport:
     seed: int
     iterations: int = 0
     mutations: dict[str, MutatorStats] = field(default_factory=dict)
+    #: Per-proof-mutator tallies (the adversarial proof-mutation family).
+    proof_mutations: dict[str, MutatorStats] = field(default_factory=dict)
     oracle_checks: dict[str, int] = field(default_factory=dict)
     counterexamples: list[Counterexample] = field(default_factory=list)
     elapsed_s: float = 0.0
@@ -97,6 +134,9 @@ class FuzzReport:
     def mutator_stats(self, name: str) -> MutatorStats:
         return self.mutations.setdefault(name, MutatorStats())
 
+    def proof_mutator_stats(self, name: str) -> MutatorStats:
+        return self.proof_mutations.setdefault(name, MutatorStats())
+
     def to_json(self) -> dict:
         return {
             "seed": self.seed,
@@ -110,6 +150,14 @@ class FuzzReport:
                     "failed": stats.failed,
                 }
                 for name, stats in sorted(self.mutations.items())
+            },
+            "proof_mutations": {
+                name: {
+                    "applied": stats.applied,
+                    "detected": stats.detected,
+                    "failed": stats.failed,
+                }
+                for name, stats in sorted(self.proof_mutations.items())
             },
             "oracle_checks": dict(sorted(self.oracle_checks.items())),
             "counterexamples": [c.to_json() for c in self.counterexamples],
@@ -137,6 +185,16 @@ class FuzzReport:
                 f"  {name:<22} {stats.applied:>8} {stats.detected:>9} "
                 f"{stats.failed:>7}"
             )
+        if self.proof_mutations:
+            lines.append(f"  {'proof mutator':<22} "
+                         f"{'applied':>8} {'detected':>9} {'failed':>7}")
+            lines.append("  " + "-" * (len(header) - 2))
+            for name in sorted(PROOF_MUTATORS):
+                stats = self.proof_mutations.get(name, MutatorStats())
+                lines.append(
+                    f"  {name:<22} {stats.applied:>8} {stats.detected:>9} "
+                    f"{stats.failed:>7}"
+                )
         lines.append(
             "  oracle checks: "
             + ", ".join(
@@ -205,8 +263,113 @@ def _system_with(system: System, run) -> System:
     return dc_replace(system, runs=runs)
 
 
-def run_fuzz(config: FuzzConfig, progress=None) -> FuzzReport:
-    """Run one fuzzing campaign; pure in ``config``."""
+def _shrunk_replay_counterexample(
+    iteration: int,
+    failure: OracleFailure,
+    system: System,
+    run,
+    k: int,
+    assumptions,
+    rules,
+    max_facts: int,
+) -> Counterexample:
+    """Minimize a replay failure to the assumptions that still derive
+    a false fact, and attach the engine's own explanation of it."""
+
+    def still_fails(candidate) -> bool:
+        failures, _derivation = check_engine_replay(
+            system, run, k, candidate, rules=rules, max_facts=max_facts
+        )
+        return bool(failures)
+
+    minimal = shrink_assumptions(assumptions, still_fails)
+    script = [f"point: ({run.name}, {k})"]
+    script += [f"assume: {formula}" for formula in minimal]
+    shrunk_failures, derivation = check_engine_replay(
+        system, run, k, minimal, rules=rules, max_facts=max_facts
+    )
+    witness = shrunk_failures[0] if shrunk_failures else failure
+    if derivation is not None and witness.formula is not None:
+        try:
+            from repro.terms.parser import parse_formula
+
+            bad = parse_formula(witness.formula, system.vocabulary)
+            script += derivation.explain(bad).splitlines()
+        except Exception:  # pragma: no cover - diagnostics must not throw
+            pass
+    return Counterexample(
+        iteration=iteration,
+        failure=witness,
+        script=script,
+        trace=_failure_trace(system, witness),
+    )
+
+
+def _shrunk_proof_counterexample(
+    iteration: int,
+    mutation: ProofMutation,
+    original: Proof,
+    failure: OracleFailure,
+) -> Counterexample:
+    """Minimize the mutant proof while its oracle verdict persists."""
+
+    def still_fails(candidate: Proof) -> bool:
+        twin = ProofMutation(
+            mutation.name, candidate, mutation.expectation, mutation.detail
+        )
+        return check_proof_mutation(twin, original) is not None
+
+    minimal = shrink_proof(mutation.proof, still_fails)
+    return Counterexample(
+        iteration=iteration,
+        failure=failure,
+        mutator=mutation.name,
+        expected=[mutation.expectation],
+        script=describe_proof(minimal),
+    )
+
+
+def _certified_proof(
+    rng: random.Random, derivation: Derivation
+) -> Proof | None:
+    """Certify one randomly chosen derived fact into a checked proof.
+
+    Facts whose certificates cannot be compiled (givens only, or rules
+    without a certificate at this prefix) are skipped; a handful of
+    candidates is plenty per iteration.
+    """
+    candidates = sorted(derivation.origins, key=str)
+    if not candidates:
+        return None
+    rng.shuffle(candidates)
+    for fact in candidates[:4]:
+        try:
+            proof = certify(derivation, fact.to_formula())
+        except (CertificationError, ProofError):
+            continue
+        if len(proof.steps) >= 2:
+            return proof
+    return None
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    progress=None,
+    replay_rules: Sequence[Rule] | None = None,
+) -> FuzzReport:
+    """Run one fuzzing campaign; pure in ``config``.
+
+    ``replay_rules`` overrides the engine rule set the replay oracle
+    closes assumptions under — test fixtures use it to plant a
+    deliberately unsound rule and watch the oracle catch it.
+    """
+    unknown = set(config.oracles) - set(ORACLE_FAMILIES)
+    if unknown:
+        raise ValueError(
+            f"unknown oracle families {sorted(unknown)}; "
+            f"choose from {list(ORACLE_FAMILIES)}"
+        )
+    enabled = frozenset(config.oracles)
     report = FuzzReport(seed=config.seed)
     report.meta = run_metadata(
         seed=config.seed, iterations=config.iterations
@@ -218,20 +381,43 @@ def run_fuzz(config: FuzzConfig, progress=None) -> FuzzReport:
             system, rng = generate_base_system(config, iteration)
         perf.count("fuzz.iterations")
 
-        # Oracle: the generator only emits well-formed systems.
-        report.count_check("generator_wellformed", len(system.runs))
-        for failure in check_clean_system(system):
-            report.counterexamples.append(
-                Counterexample(
-                    iteration=iteration,
-                    failure=failure,
-                    script=describe_run(system.run(failure.run_name)),
+        # Interpretation fuzzing: re-roll the Prim interpretation per
+        # workload (seeded, picklable) and check the evaluator, clone,
+        # and pickle legs all agree with the predicate directly.
+        if "interpretation" in enabled:
+            with spans.span("fuzz.interpretation"):
+                system = randomize_interpretation(rng, system)
+                interp_points = sample_points(rng, system, config.points_per_run)
+                interp_failures = check_interpretation_agreement(
+                    system, interp_points
                 )
-            )
+            report.count_check("prim_agreement", len(interp_points))
+            for failure in interp_failures:
+                report.counterexamples.append(
+                    Counterexample(
+                        iteration=iteration,
+                        failure=failure,
+                        trace=_failure_trace(system, failure),
+                    )
+                )
+
+        # Oracle: the generator only emits well-formed systems.
+        if "wf" in enabled:
+            report.count_check("generator_wellformed", len(system.runs))
+            for failure in check_clean_system(system):
+                report.counterexamples.append(
+                    Counterexample(
+                        iteration=iteration,
+                        failure=failure,
+                        script=describe_run(system.run(failure.run_name)),
+                    )
+                )
 
         # Fault injection + WF classification oracle.
-        with spans.span("fuzz.mutate"):
-            mutation = apply_random_mutator(rng, rng.choice(system.runs))
+        mutation = None
+        if "wf" in enabled:
+            with spans.span("fuzz.mutate"):
+                mutation = apply_random_mutator(rng, rng.choice(system.runs))
         if mutation is not None:
             perf.count(f"fuzz.mutations.{mutation.name}")
             stats = report.mutator_stats(mutation.name)
@@ -252,8 +438,13 @@ def run_fuzz(config: FuzzConfig, progress=None) -> FuzzReport:
 
         # Differential evaluator oracles on the (possibly benign-mutated)
         # well-formed system.
-        formulas = sample_formulas(rng, system, config.formulas_per_iteration)
-        points = sample_points(rng, system, config.points_per_run)
+        if "differential" in enabled:
+            formulas = sample_formulas(
+                rng, system, config.formulas_per_iteration
+            )
+            points = sample_points(rng, system, config.points_per_run)
+        else:
+            formulas, points = (), ()
         if formulas and points:
             checks = len(formulas) * len(points)
             report.count_check("cache_differential", checks)
@@ -278,10 +469,74 @@ def run_fuzz(config: FuzzConfig, progress=None) -> FuzzReport:
                     )
                 )
 
+        # Engine-vs-semantics replay: close a true assumption set under
+        # the (A11-excluded) rules, replay every derived fact at the
+        # assumption point.  The derivation doubles as the proof corpus
+        # for the mutation oracle below.
+        derivation = None
+        if enabled & {"engine_replay", "proof_mutation"}:
+            with spans.span("fuzz.engine_replay"):
+                replay_run = rng.choice(system.runs)
+                replay_k = rng.choice(list(replay_run.times))
+                replay_evaluator = Evaluator(system)
+                assumptions = sample_assumptions(
+                    rng, system, replay_evaluator, replay_run, replay_k,
+                    config.replay_assumptions,
+                )
+                replay_failures, derivation = check_engine_replay(
+                    system, replay_run, replay_k, assumptions,
+                    rules=replay_rules,
+                    max_facts=config.replay_max_facts,
+                    evaluator=replay_evaluator,
+                )
+            if "engine_replay" in enabled:
+                derived = len(derivation.origins) if derivation else 0
+                report.count_check("engine_replay", max(derived, 1))
+                for failure in replay_failures:
+                    report.counterexamples.append(
+                        _shrunk_replay_counterexample(
+                            iteration, failure, system, replay_run,
+                            replay_k, assumptions, replay_rules,
+                            config.replay_max_facts,
+                        )
+                    )
+
+        # Adversarial proof mutation: certify one derived fact into a
+        # checked Hilbert proof and corrupt it; the checker must reject
+        # every non-benign mutant with ProofError and never crash.
+        if "proof_mutation" in enabled and derivation is not None:
+            with spans.span("fuzz.proof_mutation"):
+                proof = _certified_proof(rng, derivation)
+                proof_failures: list[tuple[ProofMutation, OracleFailure]] = []
+                if proof is not None:
+                    for _ in range(config.proof_mutations_per_iteration):
+                        proof_mutation = apply_random_proof_mutator(rng, proof)
+                        if proof_mutation is None:
+                            break
+                        perf.count(
+                            f"fuzz.proof_mutations.{proof_mutation.name}"
+                        )
+                        stats = report.proof_mutator_stats(proof_mutation.name)
+                        stats.applied += 1
+                        report.count_check("proof_mutation")
+                        failure = check_proof_mutation(proof_mutation, proof)
+                        if failure is None:
+                            stats.detected += 1
+                        else:
+                            stats.failed += 1
+                            proof_failures.append((proof_mutation, failure))
+            for proof_mutation, failure in proof_failures:
+                report.counterexamples.append(
+                    _shrunk_proof_counterexample(
+                        iteration, proof_mutation, proof, failure
+                    )
+                )
+
         # Periodic parallel-sweep differential (a full model-check, so
         # only every Nth iteration and with a tight instance cap).
         if (
-            config.parallel_every
+            "parallel" in enabled
+            and config.parallel_every
             and iteration % config.parallel_every == config.parallel_every - 1
         ):
             report.count_check("parallel_sweep_differential")

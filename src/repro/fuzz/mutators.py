@@ -496,8 +496,13 @@ MUTATORS: dict[str, MutatorFn] = {
 
 
 def apply_random_mutator(rng: random.Random, run: Run) -> Mutation | None:
-    """Apply a randomly chosen applicable mutator, or None if none fit."""
-    names = list(MUTATORS)
+    """Apply a randomly chosen applicable mutator, or None if none fit.
+
+    The candidate order is a seeded shuffle of the *name-sorted* registry,
+    never of its insertion order, so registering a new mutator cannot
+    silently change what existing seeds reproduce.
+    """
+    names = sorted(MUTATORS)
     rng.shuffle(names)
     for name in names:
         mutation = MUTATORS[name](rng, run)

@@ -1,0 +1,314 @@
+"""Adversarial mutations of checked Hilbert proofs.
+
+The proof checker (:meth:`repro.logic.proof.Proof.check`) is the last
+line of defence behind the derivation engine: ``certify`` compiles
+engine derivations into R1/R2 proofs and the checker validates them
+step by step.  These mutators take a proof that *passed* the checker
+and surgically corrupt it; the oracle then asserts the checker's
+verdict matches the mutation's expectation:
+
+* ``reject`` — the mutant is invalid *by construction* (a swapped MP
+  premise pair, a negated conclusion, a forged justification, a
+  dangling step reference, a mangled axiom-argument tuple) and the
+  checker must raise :class:`~repro.errors.ProofError`.  Raising
+  anything else counts as a checker crash, which is its own failure —
+  the exception-discipline contract the mutation oracle relies on.
+* ``accept`` — the mutant is benign (any prefix of a valid proof is a
+  valid proof, since steps only ever reference earlier steps) and the
+  checker must *not* reject it: the over-rejection control.
+* ``conservative`` — the mutant may or may not check (dropping a step
+  without re-indexing shifts every later reference), but if it is
+  accepted it must still prove the original conclusion from a subset
+  of the original premises, and above all the checker must not crash.
+
+Each ``reject`` mutator's docstring carries the argument for why the
+corruption can never be accepted — the oracle is only as good as those
+guarantees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ProofError
+from repro.logic.axioms import schema
+from repro.logic.proof import (
+    ByAxiom,
+    ByModusPonens,
+    ByNecessitation,
+    ByPremise,
+    ByTautology,
+    Proof,
+    Step,
+)
+from repro.logic.tautology import is_tautology
+from repro.terms.formulas import Not
+
+#: The checker must raise ProofError on this mutant.
+REJECT = "reject"
+#: The checker must accept this mutant.
+ACCEPT = "accept"
+#: Accepting is fine only if conclusion/premises are preserved.
+CONSERVATIVE = "conservative"
+
+
+@dataclass(frozen=True)
+class ProofMutation:
+    """One applied proof corruption, tagged with the expected verdict."""
+
+    name: str
+    proof: Proof
+    expectation: str
+    detail: str
+
+
+ProofMutatorFn = Callable[[random.Random, Proof], "ProofMutation | None"]
+
+
+def _with_step(proof: Proof, index: int, step: Step) -> Proof:
+    steps = list(proof.steps)
+    steps[index] = step
+    return Proof(tuple(steps))
+
+
+def mutate_swap_mp_premises(
+    rng: random.Random, proof: Proof
+) -> ProofMutation | None:
+    """Swap the minor/major premise references of one MP step.
+
+    Never acceptable: after the swap the checker reads the old
+    antecedent formula φ as the major premise.  Acceptance would need
+    φ = (φ ⊃ ψ) ⊃ ψ where ψ is the step's conclusion — a formula that
+    strictly contains itself, which no finite term can.
+    """
+    indices = [
+        index
+        for index, step in enumerate(proof.steps)
+        if isinstance(step.justification, ByModusPonens)
+        and step.justification.antecedent != step.justification.implication
+    ]
+    if not indices:
+        return None
+    index = rng.choice(indices)
+    step = proof.steps[index]
+    justification = step.justification
+    assert isinstance(justification, ByModusPonens)
+    swapped = ByModusPonens(
+        justification.implication, justification.antecedent
+    )
+    return ProofMutation(
+        "swap_mp_premises",
+        _with_step(proof, index, Step(step.formula, swapped)),
+        REJECT,
+        f"step {index}: MP premise references swapped",
+    )
+
+
+def mutate_rewrite_conclusion(
+    rng: random.Random, proof: Proof
+) -> ProofMutation | None:
+    """Negate the formula of one non-premise step.
+
+    Never acceptable: a tautology's negation is no tautology, and the
+    axiom/MP/necessitation checks all compare the step formula against
+    a rebuilt expectation that still equals the *original* formula —
+    ``¬φ ≠ φ`` structurally for every φ.  (Premise steps are exempt:
+    premises are assumptions, any formula is a legal premise.)
+    """
+    indices = [
+        index
+        for index, step in enumerate(proof.steps)
+        if not isinstance(step.justification, ByPremise)
+    ]
+    if not indices:
+        return None
+    index = rng.choice(indices)
+    step = proof.steps[index]
+    return ProofMutation(
+        "rewrite_conclusion",
+        _with_step(proof, index, Step(Not(step.formula), step.justification)),
+        REJECT,
+        f"step {index}: conclusion negated",
+    )
+
+
+def mutate_forge_justification(
+    rng: random.Random, proof: Proof
+) -> ProofMutation | None:
+    """Replace a step's justification with a bare "it's a tautology".
+
+    Only applied to steps whose formula is verifiably *not* a
+    propositional tautology (checked here, with the checker's own
+    decision procedure), so rejection is guaranteed.
+    """
+    indices = []
+    for index, step in enumerate(proof.steps):
+        if isinstance(step.justification, ByTautology):
+            continue
+        try:
+            if is_tautology(step.formula):
+                continue
+        except ProofError:
+            continue
+        indices.append(index)
+    if not indices:
+        return None
+    index = rng.choice(indices)
+    step = proof.steps[index]
+    return ProofMutation(
+        "forge_justification",
+        _with_step(proof, index, Step(step.formula, ByTautology())),
+        REJECT,
+        f"step {index}: justification forged to 'tautology'",
+    )
+
+
+def mutate_dangling_reference(
+    rng: random.Random, proof: Proof
+) -> ProofMutation | None:
+    """Rewire one MP/necessitation reference out of bounds.
+
+    The target is the step's own index (a self-reference), a negative
+    index, or one past the end — all outside the ``0 <= i < current``
+    window ``Proof._fetch`` enforces, so rejection is guaranteed (and a
+    raw ``IndexError`` would be a discipline bug, not a rejection).
+    """
+    indices = [
+        index
+        for index, step in enumerate(proof.steps)
+        if isinstance(step.justification, (ByModusPonens, ByNecessitation))
+    ]
+    if not indices:
+        return None
+    index = rng.choice(indices)
+    step = proof.steps[index]
+    justification = step.justification
+    target = rng.choice((index, -1, len(proof.steps) + rng.randrange(3)))
+    if isinstance(justification, ByModusPonens):
+        if rng.random() < 0.5:
+            forged = ByModusPonens(target, justification.implication)
+        else:
+            forged = ByModusPonens(justification.antecedent, target)
+    else:
+        assert isinstance(justification, ByNecessitation)
+        forged = ByNecessitation(target, justification.principal)
+    return ProofMutation(
+        "dangling_reference",
+        _with_step(proof, index, Step(step.formula, forged)),
+        REJECT,
+        f"step {index}: reference rewired to {target}",
+    )
+
+
+def mutate_forge_axiom_args(
+    rng: random.Random, proof: Proof
+) -> ProofMutation | None:
+    """Drop the last argument of one axiom instantiation.
+
+    The schema rebuild must then either fail (wrong arity — which the
+    checker is required to surface as ProofError, not TypeError) or
+    produce a different instance than the step formula.  Indices where
+    the truncated argument list happens to rebuild the *same* formula
+    (a defaulted trailing argument) are skipped, keeping the reject
+    guarantee honest.
+    """
+    indices = []
+    for index, step in enumerate(proof.steps):
+        justification = step.justification
+        if not isinstance(justification, ByAxiom) or not justification.args:
+            continue
+        try:
+            rebuilt = schema(justification.name).build(*justification.args[:-1])
+        except Exception:
+            indices.append(index)
+            continue
+        if rebuilt != step.formula:
+            indices.append(index)
+    if not indices:
+        return None
+    index = rng.choice(indices)
+    step = proof.steps[index]
+    justification = step.justification
+    assert isinstance(justification, ByAxiom)
+    forged = ByAxiom(justification.name, justification.args[:-1])
+    return ProofMutation(
+        "forge_axiom_args",
+        _with_step(proof, index, Step(step.formula, forged)),
+        REJECT,
+        f"step {index}: axiom {justification.name} argument dropped",
+    )
+
+
+def mutate_truncate_steps(
+    rng: random.Random, proof: Proof
+) -> ProofMutation | None:
+    """Cut the proof after a random step — the benign control.
+
+    Every step of a checked proof references only earlier steps, so any
+    non-empty prefix is itself a valid proof (of its own last formula).
+    A rejection here means the checker started over-rejecting.
+    """
+    if len(proof.steps) < 2:
+        return None
+    cut = rng.randrange(1, len(proof.steps))
+    return ProofMutation(
+        "truncate_steps",
+        Proof(proof.steps[:cut]),
+        ACCEPT,
+        f"proof truncated to its first {cut} step(s)",
+    )
+
+
+def mutate_drop_step(
+    rng: random.Random, proof: Proof
+) -> ProofMutation | None:
+    """Delete one interior step *without* re-indexing later references.
+
+    Every later reference shifts by one, so the mutant usually dangles
+    or mismatches — but it can also land on a step of the right shape
+    and check.  That is fine exactly when the surviving proof still
+    concludes the original conclusion from a subset of the original
+    premises; the expectation is ``conservative`` and the real payload
+    is the crash oracle (shifted references must never escape as
+    ``IndexError``/``KeyError``).
+    """
+    if len(proof.steps) < 2:
+        return None
+    index = rng.randrange(0, len(proof.steps) - 1)
+    return ProofMutation(
+        "drop_step",
+        Proof(proof.steps[:index] + proof.steps[index + 1:]),
+        CONSERVATIVE,
+        f"step {index} dropped without re-indexing",
+    )
+
+
+PROOF_MUTATORS: dict[str, ProofMutatorFn] = {
+    "swap_mp_premises": mutate_swap_mp_premises,
+    "rewrite_conclusion": mutate_rewrite_conclusion,
+    "forge_justification": mutate_forge_justification,
+    "dangling_reference": mutate_dangling_reference,
+    "forge_axiom_args": mutate_forge_axiom_args,
+    "truncate_steps": mutate_truncate_steps,
+    "drop_step": mutate_drop_step,
+}
+
+
+def apply_random_proof_mutator(
+    rng: random.Random, proof: Proof
+) -> ProofMutation | None:
+    """Apply a randomly chosen applicable proof mutator, or None.
+
+    As with the run mutators, candidates are a seeded shuffle of the
+    *name-sorted* registry, so registering a new mutator cannot change
+    what existing seeds reproduce.
+    """
+    names = sorted(PROOF_MUTATORS)
+    rng.shuffle(names)
+    for name in names:
+        mutation = PROOF_MUTATORS[name](rng, proof)
+        if mutation is not None:
+            return mutation
+    return None

@@ -19,12 +19,14 @@ the standard stopping point.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from repro.errors import ReproError
+from repro.logic.proof import Proof
 from repro.model.actions import Action, Receive, Send
 from repro.model.runs import Run
 from repro.model.states import EnvState, LocalState
+from repro.terms.formulas import Formula
 
 Predicate = Callable[[Run], bool]
 
@@ -185,6 +187,94 @@ def shrink_run(run: Run, still_fails: Predicate, max_steps: int = 400) -> Run:
             if budget <= 0:
                 break
     return current
+
+
+def _proof_candidates(proof: Proof) -> Iterator[Proof]:
+    """One-step proof reductions, most aggressive first.
+
+    Tail truncations and single-step deletions (references left
+    untouched — an invalid candidate simply fails the predicate).  The
+    empty proof is never yielded.
+    """
+    length = len(proof.steps)
+    seen = set()
+    for cut in (1, length // 2, length - 1):
+        if 1 <= cut < length and cut not in seen:
+            seen.add(cut)
+            yield Proof(proof.steps[:cut])
+    for index in range(length - 1):
+        yield Proof(proof.steps[:index] + proof.steps[index + 1:])
+
+
+def shrink_proof(
+    proof: Proof,
+    still_fails: Callable[[Proof], bool],
+    max_steps: int = 200,
+) -> Proof:
+    """Greedily minimize a proof artifact while the predicate holds.
+
+    Same contract as :func:`shrink_run`: ``still_fails`` returns True
+    on candidates that reproduce the original failure, a predicate
+    that raises counts as not-failing, and each accepted reduction
+    restarts the scan.
+    """
+    current = proof
+    budget = max_steps
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for candidate in _proof_candidates(current):
+            budget -= 1
+            try:
+                failing = still_fails(candidate)
+            except Exception:
+                failing = False
+            if failing:
+                current = candidate
+                improved = True
+                break
+            if budget <= 0:
+                break
+    return current
+
+
+def shrink_assumptions(
+    assumptions: Sequence[Formula],
+    still_fails: Callable[[tuple[Formula, ...]], bool],
+    max_steps: int = 200,
+) -> tuple[Formula, ...]:
+    """Greedily drop assumptions while the failure persists.
+
+    The natural minimal reproduction for an engine-replay failure is
+    the smallest assumption set that still derives a false fact.
+    """
+    current = list(assumptions)
+    budget = max_steps
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for index in range(len(current)):
+            candidate = tuple(current[:index] + current[index + 1:])
+            budget -= 1
+            try:
+                failing = still_fails(candidate)
+            except Exception:
+                failing = False
+            if failing:
+                current = list(candidate)
+                improved = True
+                break
+            if budget <= 0:
+                break
+    return tuple(current)
+
+
+def describe_proof(proof: Proof) -> list[str]:
+    """A compact, numbered rendering of a proof for the JSON report."""
+    lines = [f"proof: {len(proof.steps)} step(s)"]
+    for index, step in enumerate(proof.steps):
+        lines.append(f"  {index}. {step.formula}   [{step.justification}]")
+    return lines
 
 
 def describe_run(run: Run) -> list[str]:

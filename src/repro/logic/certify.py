@@ -496,6 +496,10 @@ class _Compiler:
 
     def _conj_chain(self, indices: list[int]) -> int:
         """Right-associated conjunction of the given steps."""
+        if not indices:
+            raise CertificationError(
+                "a rule application certificate needs at least one premise"
+            )
         result = indices[-1]
         for index in reversed(indices[:-1]):
             result = self.builder.conj(index, result)

@@ -123,7 +123,18 @@ class Proof:
                     )
                 depends.append(False)
             elif isinstance(justification, ByAxiom):
-                expected = schema(justification.name).build(*justification.args)
+                try:
+                    expected = schema(justification.name).build(
+                        *justification.args
+                    )
+                except ProofError as error:
+                    raise ProofError(f"step {index}: {error}") from None
+                except Exception as error:
+                    raise ProofError(
+                        f"step {index}: axiom {justification.name!r} instance "
+                        f"cannot be rebuilt from {justification.args!r}: "
+                        f"{error}"
+                    ) from error
                 if expected != step.formula:
                     raise ProofError(
                         f"step {index}: formula does not match axiom "
@@ -161,17 +172,30 @@ class Proof:
                         f"step {index}: necessitation applied to a "
                         "premise-dependent line"
                     )
-                expected = Believes(justification.principal, base.formula)
+                try:
+                    expected = Believes(justification.principal, base.formula)
+                except Exception as error:
+                    raise ProofError(
+                        f"step {index}: necessitation principal "
+                        f"{justification.principal!r} is malformed: {error}"
+                    ) from error
                 if expected != step.formula:
                     raise ProofError(
                         f"step {index}: necessitation mismatch: expected "
                         f"{expected}, got {step.formula}"
                     )
                 depends.append(False)
-            else:  # pragma: no cover - exhaustive
-                raise ProofError(f"step {index}: unknown justification")
+            else:
+                raise ProofError(
+                    f"step {index}: unknown justification "
+                    f"{type(justification).__name__}"
+                )
 
     def _fetch(self, current: int, index: int) -> Step:
+        if type(index) is not int:
+            raise ProofError(
+                f"step {current}: step reference {index!r} is not an integer"
+            )
         if not 0 <= index < current:
             raise ProofError(
                 f"step {current}: reference to step {index} out of range"
@@ -200,6 +224,8 @@ class ProofBuilder:
         return len(self._steps)
 
     def formula_at(self, index: int) -> Formula:
+        if type(index) is not int or not 0 <= index < len(self._steps):
+            raise ProofError(f"no proof step at index {index!r}")
         return self._steps[index].formula
 
     def _add(self, formula: Formula, justification: Justification) -> int:

@@ -20,11 +20,14 @@ from dataclasses import dataclass
 from repro.analysis.annotate import AnalysisReport, analyze
 from repro.goodruns.assumptions import InitialAssumptions
 from repro.goodruns.construction import construct_good_runs
+from repro.logic.engine import Derivation
+from repro.model.runs import Run
 from repro.model.system import System
 from repro.protocols.base import IdealizedProtocol
 from repro.semantics.evaluator import Evaluator
 from repro.terms.atoms import Principal
 from repro.terms.formulas import Believes, Formula
+from repro.terms.ops import is_ground
 
 
 @dataclass(frozen=True)
@@ -74,6 +77,33 @@ def assumptions_vector(protocol: IdealizedProtocol) -> InitialAssumptions:
             continue
         per_principal.setdefault(assumption.principal, []).append(assumption)
     return InitialAssumptions.of(per_principal)
+
+
+def replay_derivation(
+    derivation: Derivation, evaluator: Evaluator, run: Run, k: int
+) -> tuple[AuditEntry, ...]:
+    """Replay every *derived* fact of a derivation at one point.
+
+    Every engine rule is backed by a valid implication, so whenever a
+    derivation's given assumptions hold at a point, everything derived
+    from them must hold at that same point — the pointwise reading of
+    Theorem 1 (necessitation is only ever applied to theorems, never to
+    point-contingent facts).  Callers are responsible for choosing a
+    point where the assumptions are true; this replays the conclusions.
+
+    Non-ground facts (parameters introduced by the message pool) are
+    skipped: without a substitution they have no truth value at a
+    point.  The entries come back in a stable (string-sorted) order so
+    reports are reproducible across processes.
+    """
+    entries = []
+    for fact in sorted(derivation.origins, key=str):
+        formula = fact.to_formula()
+        if not is_ground(formula):
+            continue
+        truth = evaluator.evaluate(formula, run, k)
+        entries.append(AuditEntry(formula, True, truth))
+    return tuple(entries)
 
 
 def audit_protocol(

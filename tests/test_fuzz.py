@@ -16,23 +16,43 @@ import random
 import pytest
 
 from repro.__main__ import main
+from repro.errors import ProofError
 from repro.fuzz import (
     MUTATORS,
+    PROOF_MUTATORS,
     FuzzConfig,
+    ProofMutation,
     apply_random_mutator,
+    apply_random_proof_mutator,
     check_clean_system,
+    check_engine_replay,
+    check_interpretation_agreement,
     check_mutation,
+    check_proof_mutation,
     deintern,
+    describe_proof,
     describe_run,
     generate_base_system,
+    randomize_interpretation,
+    replay_rules,
     run_fuzz,
+    sample_assumptions,
+    shrink_proof,
     shrink_run,
 )
+from repro.fuzz import mutators as mutators_module
+from repro.fuzz import proof_mutators as proof_mutators_module
 from repro.fuzz.generate import iteration_rng
+from repro.logic.engine import Inference
+from repro.logic.facts import Fact
+from repro.logic.proof import ProofBuilder
 from repro.model.wellformed import violation_classes
+from repro.semantics.evaluator import Evaluator
 from repro.soundness import GeneratorConfig, generate_system
-from repro.terms.formulas import Believes, Says
+from repro.terms.atoms import Key, Principal, Sort
+from repro.terms.formulas import Believes, Says, Sees, SharedKey
 from repro.terms.messages import encrypted, group
+from repro.terms.ops import is_ground
 
 
 @pytest.fixture(scope="module")
@@ -202,3 +222,295 @@ class TestCli:
         assert record["iterations"] == 4
         assert record["counterexamples"] == []
         assert set(record["mutations"]) <= set(MUTATORS)
+
+    def test_fuzz_oracles_flag_selects_families(self, tmp_path, capsys):
+        report_path = tmp_path / "FUZZ_subset.json"
+        code = main(
+            [
+                "fuzz",
+                "--seed", "0",
+                "--iterations", "2",
+                "--parallel-every", "0",
+                "--report", str(report_path),
+                "--oracles", "engine_replay,proof_mutation",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        record = json.loads(report_path.read_text())
+        assert "engine_replay" in record["oracle_checks"]
+        assert "wf_classification" not in record["oracle_checks"]
+        assert "cache_differential" not in record["oracle_checks"]
+        assert "proof_mutations" in record
+
+    def test_fuzz_oracles_flag_rejects_unknown_family(self, capsys):
+        code = main(["fuzz", "--iterations", "1", "--oracles", "bogus"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "unknown oracle families" in out
+
+
+class TestMutatorRegistryOrder:
+    """The seeded mutation schedule is pinned to *name-sorted* registry
+    iteration: re-registering mutators in any insertion order must not
+    change what a fixed seed reproduces."""
+
+    def test_seeded_sequence_invariant_under_insertion_order(
+        self, systems, monkeypatch
+    ):
+        run = systems[0].runs[0]
+
+        def sequence():
+            rng = random.Random(7)
+            names = []
+            for _ in range(10):
+                mutation = apply_random_mutator(rng, run)
+                names.append(None if mutation is None else mutation.name)
+            return names
+
+        baseline = sequence()
+        assert any(name is not None for name in baseline)
+        reordered = dict(reversed(list(mutators_module.MUTATORS.items())))
+        assert list(reordered) != list(mutators_module.MUTATORS)
+        monkeypatch.setattr(mutators_module, "MUTATORS", reordered)
+        assert sequence() == baseline
+
+    def test_proof_mutator_sequence_invariant_under_insertion_order(
+        self, monkeypatch
+    ):
+        proof = _sample_proof()
+
+        def sequence():
+            rng = random.Random(11)
+            return [
+                apply_random_proof_mutator(rng, proof).name
+                for _ in range(10)
+            ]
+
+        baseline = sequence()
+        reordered = dict(
+            reversed(list(proof_mutators_module.PROOF_MUTATORS.items()))
+        )
+        assert list(reordered) != list(proof_mutators_module.PROOF_MUTATORS)
+        monkeypatch.setattr(
+            proof_mutators_module, "PROOF_MUTATORS", reordered
+        )
+        assert sequence() == baseline
+
+
+def _sample_proof():
+    """A small checked proof exercising every justification kind."""
+    a, b = Principal("FZa"), Principal("FZb")
+    key = Key("FZk")
+    builder = ProofBuilder()
+    axiom = builder.axiom("A21", a, key, b)
+    premise = builder.premise(SharedKey(a, key, b))
+    builder.mp(premise, axiom)
+    builder.necessitate(axiom, a)
+    return builder.build()
+
+
+class _UnsoundSeesSays:
+    """A deliberately unsound planted rule: P sees X ⊢ P says X."""
+
+    name = "BAD"
+    justification = "deliberately unsound test fixture"
+
+    def apply(self, index, pool):
+        for prefix in index.prefixes():
+            for fact in index.with_body_type(prefix, Sees):
+                yield Inference(
+                    Fact(prefix, Says(fact.body.principal, fact.body.message)),
+                    self.name,
+                    (fact,),
+                )
+
+
+class TestProofMutators:
+    def test_every_mutator_applies_and_checker_verdict_matches(self):
+        proof = _sample_proof()
+        seen = set()
+        for name, mutator in PROOF_MUTATORS.items():
+            for attempt in range(20):
+                rng = random.Random(f"pm:{name}:{attempt}")
+                mutation = mutator(rng, proof)
+                if mutation is None:
+                    continue
+                seen.add(name)
+                assert mutation.name == name
+                assert check_proof_mutation(mutation, proof) is None
+                if mutation.expectation == "reject":
+                    with pytest.raises(ProofError):
+                        mutation.proof.check()
+                elif mutation.expectation == "accept":
+                    mutation.proof.check()
+                break
+        assert seen == set(PROOF_MUTATORS)
+
+    def test_accepted_reject_mutant_is_flagged(self):
+        # Wrap the *unchanged* proof in a reject-tagged mutation: the
+        # checker accepts it, so the oracle must report a failure.
+        proof = _sample_proof()
+        bogus = ProofMutation("fake", proof, "reject", "no-op corruption")
+        failure = check_proof_mutation(bogus, proof)
+        assert failure is not None
+        assert "accepted" in failure.description
+
+    def test_checker_crash_is_flagged_not_raised(self):
+        # A proof whose check() raises a non-ProofError must surface as
+        # a counterexample, not as an exception out of the oracle.
+        proof = _sample_proof()
+
+        class CrashingProof:
+            premises = ()
+            conclusion = None
+
+            def check(self):
+                raise KeyError("dangling")
+
+        mutation = ProofMutation(
+            "crash", CrashingProof(), "reject", "synthetic"
+        )
+        failure = check_proof_mutation(mutation, proof)
+        assert failure is not None
+        assert "crashed" in failure.description
+        assert "KeyError" in failure.description
+
+    def test_shrink_proof_minimizes_while_predicate_holds(self):
+        proof = _sample_proof()
+        minimal = shrink_proof(proof, lambda candidate: True)
+        assert len(minimal.steps) == 1
+        untouched = shrink_proof(proof, lambda candidate: False)
+        assert untouched is proof
+        assert describe_proof(minimal)[0] == "proof: 1 step(s)"
+
+
+class TestEngineReplay:
+    def test_replay_rules_exclude_known_a11_caveat(self):
+        names = [rule.name for rule in replay_rules()]
+        assert "A11" not in names
+        assert "A11+" in names
+
+    def test_sampled_assumptions_are_true_and_ground(self, systems):
+        system = systems[0]
+        rng = random.Random(5)
+        evaluator = Evaluator(system)
+        run = system.runs[0]
+        k = run.end_time
+        assumptions = sample_assumptions(rng, system, evaluator, run, k, 6)
+        assert assumptions
+        for formula in assumptions:
+            assert is_ground(formula)
+            assert evaluator.evaluate(formula, run, k)
+
+    def test_clean_replay_finds_no_failures(self, systems):
+        system = systems[0]
+        rng = random.Random(9)
+        evaluator = Evaluator(system)
+        for run in system.runs:
+            k = run.end_time
+            assumptions = sample_assumptions(
+                rng, system, evaluator, run, k, 6
+            )
+            failures, derivation = check_engine_replay(
+                system, run, k, assumptions, evaluator=evaluator
+            )
+            assert failures == []
+            assert derivation is not None
+
+    def test_planted_unsound_rule_is_caught_and_shrunk(self, tmp_path):
+        config = FuzzConfig(seed=1, iterations=5, parallel_every=0)
+        rules = replay_rules() + (_UnsoundSeesSays(),)
+        report = run_fuzz(config, replay_rules=rules)
+        assert not report.ok
+        found = [
+            c
+            for c in report.counterexamples
+            if c.failure.oracle == "engine_replay"
+        ]
+        assert found
+        example = found[0]
+        assert example.failure.formula is not None
+        assumed = [
+            line for line in example.script if line.startswith("assume: ")
+        ]
+        assert 0 < len(assumed) <= config.replay_assumptions + 3
+        report_path = tmp_path / "FUZZ_report.json"
+        report.write(str(report_path))
+        record = json.loads(report_path.read_text())
+        assert record["ok"] is False
+        assert any(
+            c["failure"]["oracle"] == "engine_replay" and c["script"]
+            for c in record["counterexamples"]
+        )
+
+
+class TestInterpretationFuzzing:
+    def test_randomized_interpretation_is_seeded_and_picklable(
+        self, systems
+    ):
+        import pickle
+
+        system = systems[0]
+        first = randomize_interpretation(random.Random(3), system)
+        second = randomize_interpretation(random.Random(3), system)
+        propositions = sorted(system.constants(Sort.PROPOSITION), key=str)
+        assert propositions
+        points = [
+            (run, k) for run in system.runs for k in run.times
+        ]
+        for proposition in propositions:
+            for run, k in points:
+                assert first.interpretation.holds(
+                    proposition, run, k
+                ) == second.interpretation.holds(proposition, run, k)
+        thawed = pickle.loads(pickle.dumps(first.interpretation))
+        for proposition in propositions:
+            for run, k in points:
+                assert thawed.holds(proposition, run, k) == (
+                    first.interpretation.holds(proposition, run, k)
+                )
+
+    def test_randomization_actually_varies_across_seeds(self, systems):
+        system = systems[0]
+        propositions = sorted(system.constants(Sort.PROPOSITION), key=str)
+        points = [(run, k) for run in system.runs for k in run.times]
+
+        def fingerprint(seed):
+            twin = randomize_interpretation(random.Random(seed), system)
+            return tuple(
+                twin.interpretation.holds(proposition, run, k)
+                for proposition in propositions
+                for run, k in points
+            )
+
+        assert len({fingerprint(seed) for seed in range(10)}) > 1
+
+    def test_agreement_oracle_clean_on_randomized_system(self, systems):
+        system = randomize_interpretation(random.Random(1), systems[0])
+        points = [
+            (run, k)
+            for run in system.runs
+            for k in (run.start_time, 0, run.end_time)
+        ]
+        assert check_interpretation_agreement(system, points) == []
+
+
+class TestOracleSelection:
+    def test_subset_campaign_runs_only_selected_families(self):
+        config = FuzzConfig(
+            seed=2,
+            iterations=3,
+            parallel_every=0,
+            oracles=("engine_replay", "proof_mutation"),
+        )
+        report = run_fuzz(config)
+        assert report.ok
+        assert "engine_replay" in report.oracle_checks
+        assert "wf_classification" not in report.oracle_checks
+        assert "cache_differential" not in report.oracle_checks
+        assert "prim_agreement" not in report.oracle_checks
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown oracle families"):
+            run_fuzz(FuzzConfig(iterations=1, oracles=("bogus",)))

@@ -165,3 +165,79 @@ class TestBuilderMacros:
         builder.tautology(Or(P, Not(P)))
         text = builder.build().pretty()
         assert "tautology" in text
+
+
+class TestProofErrorDiscipline:
+    """Every malformed-proof path must diagnose with ProofError — never
+    leak a KeyError/IndexError/TypeError.  These branches are exactly
+    what the proof-mutation fuzzer's crash oracle relies on."""
+
+    def test_unknown_justification_rejected(self):
+        class ByWishfulThinking:
+            def __str__(self):
+                return "wishful thinking"
+
+        proof = Proof((Step(P, ByWishfulThinking()),))
+        with pytest.raises(ProofError, match="unknown justification"):
+            proof.check()
+
+    def test_mp_major_premise_must_be_implication(self):
+        steps = (
+            Step(P, ByPremise()),
+            Step(Q, ByPremise()),
+            Step(P, ByModusPonens(0, 1)),
+        )
+        with pytest.raises(ProofError, match="not an implication"):
+            Proof(steps).check()
+
+    def test_forged_axiom_arity_rejected(self):
+        proof = Proof(
+            (Step(SharedKey(A, K, B), ByAxiom("A21", (A, K))),)
+        )
+        with pytest.raises(ProofError, match="cannot be rebuilt"):
+            proof.check()
+
+    def test_unknown_axiom_name_carries_step_context(self):
+        proof = Proof((Step(P, ByAxiom("A99", (A,))),))
+        with pytest.raises(ProofError, match="step 0"):
+            proof.check()
+
+    def test_non_integer_step_reference_rejected(self):
+        steps = (
+            Step(Implies(P, Q), ByPremise()),
+            Step(Q, ByModusPonens("0", 0)),
+        )
+        with pytest.raises(ProofError, match="not an integer"):
+            Proof(steps).check()
+
+    def test_negative_step_reference_rejected(self):
+        steps = (
+            Step(Or(P, Not(P)), ByTautology()),
+            Step(Believes(A, Or(P, Not(P))), ByNecessitation(-1, A)),
+        )
+        with pytest.raises(ProofError, match="out of range"):
+            Proof(steps).check()
+
+    def test_believes_mp_requires_belief_formulas(self):
+        builder = ProofBuilder()
+        plain = builder.premise(P)
+        belief = builder.premise(Believes(A, Implies(P, Q)))
+        with pytest.raises(ProofError, match="needs two belief formulas"):
+            builder.believes_mp(A, plain, belief)
+
+    def test_believes_mp_major_must_believe_implication(self):
+        builder = ProofBuilder()
+        belief = builder.premise(Believes(A, P))
+        not_implication = builder.premise(Believes(A, Q))
+        with pytest.raises(
+            ProofError, match="must believe an implication"
+        ):
+            builder.believes_mp(A, belief, not_implication)
+
+    def test_builder_formula_at_out_of_range(self):
+        builder = ProofBuilder()
+        builder.premise(P)
+        with pytest.raises(ProofError, match="no proof step at index"):
+            builder.formula_at(7)
+        with pytest.raises(ProofError, match="no proof step at index"):
+            builder.formula_at("0")
