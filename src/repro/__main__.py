@@ -11,9 +11,14 @@ Commands
     ``--explain`` also print the derivation tree of a goal, and with
     ``--certify`` compile the goal into a checked Hilbert proof.
 
-``sweep [--systems N] [--instances M] [--seed S] [--workers W]``
+``sweep [--systems N] [--instances M] [--seed S] [--workers W] [--isolated]``
     Run the empirical Theorem 1 soundness sweep (experiment E3);
     ``--workers`` shards it over a process pool.
+
+``sweep``/``trace``/``fuzz`` accept ``--isolated``: run the whole
+command under a fresh :class:`repro.context.EngineContext`, so its
+caches, counters, and spans are session-private (nothing read from or
+left behind in the process-default context).
 
 ``perf [--systems N] [--instances M] [--seed S] [--workers W] [--output PATH]``
     Time the E3 sweep, print the cache hit/miss table, and write a
@@ -115,6 +120,34 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         )
         print(proof.pretty())
     return 0 if report.all_as_expected else 1
+
+
+def _add_isolated(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--isolated", action="store_true",
+        help="run in a fresh engine context (session-private caches, "
+             "counters, and spans; nothing shared with the process "
+             "default)",
+    )
+
+
+def _isolated(handler):
+    """Wrap a subcommand so it runs in a fresh :class:`EngineContext`.
+
+    ``--isolated`` gives the command session-private caches, counters,
+    and spans: nothing read from (or left behind in) the process-default
+    context, which is what a multi-tenant server wants per request.
+    """
+
+    def wrapped(args: argparse.Namespace) -> int:
+        if getattr(args, "isolated", False):
+            from repro import context
+
+            with context.scoped(f"cli-{args.command}"):
+                return handler(args)
+        return handler(args)
+
+    return wrapped
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -351,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=1,
         help="process-pool workers for the sweep (1 = in-process)",
     )
+    _add_isolated(sweep_parser)
 
     perf_parser = sub.add_parser(
         "perf", help="time the E3 sweep and dump cache statistics"
@@ -389,6 +423,7 @@ def main(argv: list[str] | None = None) -> int:
         "--only-failures", action="store_true",
         help="write trace records only for false verdicts",
     )
+    _add_isolated(trace_parser)
 
     fuzz_parser = sub.add_parser(
         "fuzz", help="differential run-fuzzing and fault injection"
@@ -413,6 +448,7 @@ def main(argv: list[str] | None = None) -> int:
              "parallel, engine_replay, proof_mutation, interpretation; "
              "default: all)",
     )
+    _add_isolated(fuzz_parser)
 
     sub.add_parser("cointoss", help="the Section 7 story (E5-E7)")
     sub.add_parser("experiments", help="run all E1-E14 assertions")
@@ -421,10 +457,10 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "corpus": _cmd_corpus,
         "analyze": _cmd_analyze,
-        "sweep": _cmd_sweep,
+        "sweep": _isolated(_cmd_sweep),
         "perf": _cmd_perf,
-        "trace": _cmd_trace,
-        "fuzz": _cmd_fuzz,
+        "trace": _isolated(_cmd_trace),
+        "fuzz": _isolated(_cmd_fuzz),
         "cointoss": _cmd_cointoss,
         "experiments": _cmd_experiments,
     }

@@ -1,0 +1,282 @@
+"""Engine contexts: explicit ownership of every piece of session state.
+
+Historically each stateful layer of the library was a process-global
+singleton — the term intern table (:mod:`repro.terms.intern`), the
+``hide`` and ``seen_submsgs`` memo dicts (:mod:`repro.semantics.hide`,
+:mod:`repro.model.submsgs`), the perf counter table
+(:mod:`repro.perf`), the span buffer (:mod:`repro.obs.spans`), and the
+registry of live evaluator memos (:mod:`repro.semantics.evaluator`).
+Two concurrent workloads in one process therefore bled counters, spans,
+and cache contents into each other, and the fuzzer's cold-cache oracle
+had to snapshot/restore the intern table by hand.
+
+An :class:`EngineContext` *owns* all of that state instead.  Exactly
+one context is *current* at any moment (a :mod:`contextvars` variable,
+so the notion is async- and thread-correct); every layer resolves its
+table through :func:`current` at use time.  A process-default context
+(:data:`DEFAULT`) preserves the old behaviour for every existing call
+site: code that never mentions contexts still shares one set of tables
+per process, exactly as before.
+
+The theory-level analogue is Halpern–van der Meyden–Pucella's point
+about the Abadi–Tuttle semantics: the interpretation must be
+relativized to an explicit context rather than left ambient.  Here the
+"interpretation" is the engine's mutable state, and the payoffs are
+operational:
+
+* **Isolation** — two sweeps or fuzz campaigns under separate contexts
+  share no counters, spans, or cache entries (``--isolated`` on the
+  CLI; per-shard contexts in the parallel sweep).
+* **Memory bounds** — an ephemeral context is dropped wholesale when
+  its workload ends, and the context-owned memos carry an entry cap
+  with wholesale-clear eviction (``<layer>.evict`` counters), so a
+  long-lived serving process cannot accumulate unbounded state.
+* **Honest telemetry** — a worker shard runs in a fresh context and
+  ships the *whole* context's counters and spans home; no mark/delta
+  bookkeeping against a shared table.
+
+Cross-context terms stay correct by construction: canonical instances
+are per-context, but term ``__eq__``/``__hash__`` fall back to
+structural comparison for non-canonical instances
+(:mod:`repro.terms.base`), and pickling rebuilds terms through their
+constructors, re-interning them into the *receiving* context's table.
+The structural-op memos of :mod:`repro.terms.ops` (``_submsgs``,
+``_free_params``, ``_size``, ``_depth``) live on the interned nodes
+themselves and are context-independent structural facts; they are owned
+transitively — they die with the context whose intern table kept their
+node alive.
+
+The module sits at the very bottom of the import stack (stdlib only;
+the span recorder class is imported lazily) so every layer can depend
+on it.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import weakref
+from typing import Any, Mapping, Sequence
+
+#: Default entry cap for each context-owned memo dict.  On overflow the
+#: memo is cleared wholesale (O(1) amortized, no LRU bookkeeping on the
+#: hot path) and an ``<layer>.evict`` counter is incremented.
+DEFAULT_MEMO_CAP = 1 << 17
+
+_NAME_LOCK = threading.Lock()
+_NAME_COUNTER = [0]
+
+
+def _next_name(prefix: str) -> str:
+    with _NAME_LOCK:
+        _NAME_COUNTER[0] += 1
+        return f"{prefix}-{_NAME_COUNTER[0]}"
+
+
+class BoundedMemo(dict):
+    """A memo dict with an entry cap and wholesale-clear eviction.
+
+    The pre-context memos (``_HIDE_MEMO``, ``_SEEN_MEMO``) held strong
+    references to terms forever, defeating the weak intern table in
+    long-lived processes.  A bounded memo clears itself completely when
+    it would exceed ``cap`` — crude, but O(1), allocation-free on the
+    hot path, and exactly the right trade for memos whose entries are
+    cheap to recompute.  Evictions are counted in the current context's
+    counters under ``<layer>.evict``.
+    """
+
+    __slots__ = ("layer", "cap")
+
+    def __init__(self, layer: str, cap: int = DEFAULT_MEMO_CAP) -> None:
+        super().__init__()
+        self.layer = layer
+        self.cap = cap
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if len(self) >= self.cap and key not in self:
+            counters = current().counters
+            event = self.layer + ".evict"
+            counters[event] = counters.get(event, 0) + 1
+            self.clear()
+        super().__setitem__(key, value)
+
+    def __reduce__(self):  # pragma: no cover - memos are never shipped
+        raise TypeError("BoundedMemo is context-owned state; do not pickle it")
+
+
+class EngineContext:
+    """One session's worth of engine state.
+
+    Owns, per instance:
+
+    * ``intern_table`` — the weak canonical-term table
+      (:mod:`repro.terms.intern` resolves it via :func:`current`);
+    * ``hide_memo`` / ``seen_memo`` — the semantic-kernel memos, entry
+      capped (:class:`BoundedMemo`);
+    * ``counters`` — the flat perf counter table (``repro.perf``
+      reads and writes the current context's);
+    * ``spans`` — the wall-clock span buffer
+      (:class:`repro.obs.spans.SpanRecorder`), created lazily;
+    * ``evaluators`` — the weak registry of live
+      :class:`~repro.semantics.evaluator.Evaluator` instances, so
+      ``perf.clear_caches()``/``cache_sizes()`` can reach their
+      per-instance truth memos.
+
+    Contexts are cheap: creating one allocates a handful of empty
+    containers, which is what makes per-shard and per-iteration
+    ephemeral contexts viable.
+    """
+
+    __slots__ = (
+        "name",
+        "memo_cap",
+        "intern_table",
+        "hide_memo",
+        "seen_memo",
+        "counters",
+        "evaluators",
+        "_spans",
+        "__weakref__",
+    )
+
+    def __init__(self, name: str | None = None,
+                 memo_cap: int = DEFAULT_MEMO_CAP) -> None:
+        self.name = name if name is not None else _next_name("ctx")
+        self.memo_cap = memo_cap
+        self.intern_table: "weakref.WeakValueDictionary[tuple, Any]" = (
+            weakref.WeakValueDictionary()
+        )
+        self.hide_memo = BoundedMemo("hide", memo_cap)
+        self.seen_memo = BoundedMemo("seen_submsgs", memo_cap)
+        self.counters: dict[str, int] = {}
+        self.evaluators: "weakref.WeakSet" = weakref.WeakSet()
+        self._spans = None
+
+    # -- lazily-built members --------------------------------------------------
+
+    @property
+    def spans(self):
+        """The context's span recorder (built on first use).
+
+        Lazy for two reasons: contexts stay stdlib-cheap to construct,
+        and the import of :mod:`repro.obs.spans` (which itself imports
+        this module) is deferred past both modules' initialization.
+        """
+        recorder = self._spans
+        if recorder is None:
+            from repro.obs.spans import SpanRecorder
+
+            recorder = SpanRecorder()
+            self._spans = recorder
+        return recorder
+
+    # -- telemetry transport ---------------------------------------------------
+
+    def counter_delta(self) -> dict[str, int]:
+        """The context's counters as a plain dict (for shipping home).
+
+        An ephemeral context starts from zero, so its whole table *is*
+        the delta — this replaces the mark/`delta_since` bookkeeping
+        worker shards used to do against the shared global table.
+        """
+        return dict(self.counters)
+
+    def span_delta(self) -> list[dict[str, Any]]:
+        """The context's span samples as plain picklable data."""
+        if self._spans is None:
+            return []
+        return [dict(sample) for sample in self._spans.snapshot()]
+
+    def absorb(self, counters: Mapping[str, int] | None = None,
+               spans: Sequence[Mapping[str, Any]] | None = None) -> None:
+        """Merge another context's telemetry (counters, spans) into this one.
+
+        Cache contents are deliberately *not* merged: they are private
+        to their context.  Only the observable accounting flows upward.
+        """
+        if counters:
+            mine = self.counters
+            for event, n in counters.items():
+                mine[event] = mine.get(event, 0) + n
+        if spans:
+            self.spans.merge(spans)
+
+    def absorb_context(self, other: "EngineContext") -> None:
+        """Shorthand: absorb everything observable about ``other``."""
+        self.absorb(other.counter_delta(), other.span_delta())
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def clear_session_caches(self) -> None:
+        """Empty this context's caches (intern table, memos, evaluator
+        memos) without touching counters or spans."""
+        self.intern_table.clear()
+        self.hide_memo.clear()
+        self.seen_memo.clear()
+        for evaluator in list(self.evaluators):
+            evaluator.clear_memos()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<EngineContext {self.name!r}: intern={len(self.intern_table)} "
+            f"hide={len(self.hide_memo)} seen={len(self.seen_memo)} "
+            f"counters={len(self.counters)}>"
+        )
+
+
+#: The process-default context: what every call site uses unless a
+#: narrower context has been entered with :func:`use`.  Mirrors the
+#: pre-context behaviour of one shared table-set per process.
+DEFAULT = EngineContext(name="default")
+
+_CURRENT: contextvars.ContextVar[EngineContext] = contextvars.ContextVar(
+    "repro_engine_context", default=DEFAULT
+)
+
+
+def current() -> EngineContext:
+    """The context all stateful layers resolve against, right now."""
+    return _CURRENT.get()
+
+
+def fresh(name: str | None = None,
+          memo_cap: int = DEFAULT_MEMO_CAP) -> EngineContext:
+    """A new, empty context (does not enter it; pair with :func:`use`)."""
+    return EngineContext(name=name, memo_cap=memo_cap)
+
+
+class use:
+    """Context manager making ``ctx`` the current engine context.
+
+    Re-entrant and nestable; restores the previous context on exit,
+    even across exceptions.  Usable from any thread or task — the
+    current context is a :class:`contextvars.ContextVar`, so each
+    thread/task tracks its own stack.
+
+    ::
+
+        shard = context.fresh("shard-3")
+        with context.use(shard):
+            ...                      # every cache/counter/span is shard's
+        parent.absorb_context(shard)  # ship the telemetry home
+    """
+
+    __slots__ = ("ctx", "_token")
+
+    def __init__(self, ctx: EngineContext) -> None:
+        self.ctx = ctx
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> EngineContext:
+        self._token = _CURRENT.set(self.ctx)
+        return self.ctx
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._token is not None
+        _CURRENT.reset(self._token)
+        self._token = None
+
+
+def scoped(name: str | None = None, memo_cap: int = DEFAULT_MEMO_CAP) -> use:
+    """``use(fresh(...))`` in one call: enter a brand-new context."""
+    return use(fresh(name, memo_cap))

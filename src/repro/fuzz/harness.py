@@ -26,7 +26,7 @@ import time
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Sequence
 
-from repro import perf
+from repro import context, perf
 from repro.errors import ProofError
 from repro.logic.certify import CertificationError, certify
 from repro.logic.engine import Derivation, Rule
@@ -377,181 +377,201 @@ def run_fuzz(
     span_mark = spans.mark()
     started = time.perf_counter()
     for iteration in range(config.iterations):
-        with spans.span("fuzz.generate"):
-            system, rng = generate_base_system(config, iteration)
-        perf.count("fuzz.iterations")
-
-        # Interpretation fuzzing: re-roll the Prim interpretation per
-        # workload (seeded, picklable) and check the evaluator, clone,
-        # and pickle legs all agree with the predicate directly.
-        if "interpretation" in enabled:
-            with spans.span("fuzz.interpretation"):
-                system = randomize_interpretation(rng, system)
-                interp_points = sample_points(rng, system, config.points_per_run)
-                interp_failures = check_interpretation_agreement(
-                    system, interp_points
-                )
-            report.count_check("prim_agreement", len(interp_points))
-            for failure in interp_failures:
-                report.counterexamples.append(
-                    Counterexample(
-                        iteration=iteration,
-                        failure=failure,
-                        trace=_failure_trace(system, failure),
-                    )
-                )
-
-        # Oracle: the generator only emits well-formed systems.
-        if "wf" in enabled:
-            report.count_check("generator_wellformed", len(system.runs))
-            for failure in check_clean_system(system):
-                report.counterexamples.append(
-                    Counterexample(
-                        iteration=iteration,
-                        failure=failure,
-                        script=describe_run(system.run(failure.run_name)),
-                    )
-                )
-
-        # Fault injection + WF classification oracle.
-        mutation = None
-        if "wf" in enabled:
-            with spans.span("fuzz.mutate"):
-                mutation = apply_random_mutator(rng, rng.choice(system.runs))
-        if mutation is not None:
-            perf.count(f"fuzz.mutations.{mutation.name}")
-            stats = report.mutator_stats(mutation.name)
-            stats.applied += 1
-            report.count_check("wf_classification")
-            failure = check_mutation(mutation)
-            if failure is None:
-                stats.detected += 1
-            else:
-                stats.failed += 1
-                report.counterexamples.append(
-                    _shrunk_counterexample(iteration, mutation, failure)
-                )
-            # A benign mutant that stayed clean is fresh differential
-            # material: run the evaluator oracles on the mutated system.
-            if failure is None and not mutation.expected:
-                system = _system_with(system, mutation.run)
-
-        # Differential evaluator oracles on the (possibly benign-mutated)
-        # well-formed system.
-        if "differential" in enabled:
-            formulas = sample_formulas(
-                rng, system, config.formulas_per_iteration
-            )
-            points = sample_points(rng, system, config.points_per_run)
-        else:
-            formulas, points = (), ()
-        if formulas and points:
-            checks = len(formulas) * len(points)
-            report.count_check("cache_differential", checks)
-            report.count_check("hide_differential", checks)
-            report.count_check("ground_path_differential", len(points))
-            with spans.span("fuzz.differential", checks=checks):
-                failures = (
-                    check_cache_differential(system, formulas, points)
-                    + check_hide_differential(system, formulas, points)
-                    + check_ground_path_differential(
-                        rng, system, formulas, points
-                    )
-                )
-            for failure in failures:
-                run = system.run(failure.run_name) if failure.run_name else None
-                report.counterexamples.append(
-                    Counterexample(
-                        iteration=iteration,
-                        failure=failure,
-                        script=describe_run(run) if run is not None else [],
-                        trace=_failure_trace(system, failure),
-                    )
-                )
-
-        # Engine-vs-semantics replay: close a true assumption set under
-        # the (A11-excluded) rules, replay every derived fact at the
-        # assumption point.  The derivation doubles as the proof corpus
-        # for the mutation oracle below.
-        derivation = None
-        if enabled & {"engine_replay", "proof_mutation"}:
-            with spans.span("fuzz.engine_replay"):
-                replay_run = rng.choice(system.runs)
-                replay_k = rng.choice(list(replay_run.times))
-                replay_evaluator = Evaluator(system)
-                assumptions = sample_assumptions(
-                    rng, system, replay_evaluator, replay_run, replay_k,
-                    config.replay_assumptions,
-                )
-                replay_failures, derivation = check_engine_replay(
-                    system, replay_run, replay_k, assumptions,
-                    rules=replay_rules,
-                    max_facts=config.replay_max_facts,
-                    evaluator=replay_evaluator,
-                )
-            if "engine_replay" in enabled:
-                derived = len(derivation.origins) if derivation else 0
-                report.count_check("engine_replay", max(derived, 1))
-                for failure in replay_failures:
-                    report.counterexamples.append(
-                        _shrunk_replay_counterexample(
-                            iteration, failure, system, replay_run,
-                            replay_k, assumptions, replay_rules,
-                            config.replay_max_facts,
-                        )
-                    )
-
-        # Adversarial proof mutation: certify one derived fact into a
-        # checked Hilbert proof and corrupt it; the checker must reject
-        # every non-benign mutant with ProofError and never crash.
-        if "proof_mutation" in enabled and derivation is not None:
-            with spans.span("fuzz.proof_mutation"):
-                proof = _certified_proof(rng, derivation)
-                proof_failures: list[tuple[ProofMutation, OracleFailure]] = []
-                if proof is not None:
-                    for _ in range(config.proof_mutations_per_iteration):
-                        proof_mutation = apply_random_proof_mutator(rng, proof)
-                        if proof_mutation is None:
-                            break
-                        perf.count(
-                            f"fuzz.proof_mutations.{proof_mutation.name}"
-                        )
-                        stats = report.proof_mutator_stats(proof_mutation.name)
-                        stats.applied += 1
-                        report.count_check("proof_mutation")
-                        failure = check_proof_mutation(proof_mutation, proof)
-                        if failure is None:
-                            stats.detected += 1
-                        else:
-                            stats.failed += 1
-                            proof_failures.append((proof_mutation, failure))
-            for proof_mutation, failure in proof_failures:
-                report.counterexamples.append(
-                    _shrunk_proof_counterexample(
-                        iteration, proof_mutation, proof, failure
-                    )
-                )
-
-        # Periodic parallel-sweep differential (a full model-check, so
-        # only every Nth iteration and with a tight instance cap).
-        if (
-            "parallel" in enabled
-            and config.parallel_every
-            and iteration % config.parallel_every == config.parallel_every - 1
-        ):
-            report.count_check("parallel_sweep_differential")
-            with spans.span("fuzz.parallel_sweep"):
-                failure = check_parallel_sweep(
-                    system, config.parallel_workers, config.parallel_instances
-                )
-            if failure is not None:
-                report.counterexamples.append(
-                    Counterexample(iteration=iteration, failure=failure)
-                )
-
+        # Each iteration runs in an ephemeral engine context: its
+        # interned terms, kernel memos, and evaluator registrations are
+        # dropped wholesale when the workload ends (bounding memory for
+        # long campaigns), while its counters and spans are absorbed
+        # into the caller's context so campaign telemetry stays whole.
+        iter_ctx = context.fresh(f"fuzz-iter-{iteration}")
+        with context.use(iter_ctx):
+            _fuzz_iteration(config, enabled, report, iteration, replay_rules)
+        context.current().absorb(
+            iter_ctx.counter_delta(), iter_ctx.span_delta()
+        )
         report.iterations += 1
         if progress is not None:
             progress(report)
     report.elapsed_s = time.perf_counter() - started
     report.spans = summarize(spans.delta_since(span_mark))
     return report
+
+
+def _fuzz_iteration(
+    config: FuzzConfig,
+    enabled: frozenset,
+    report: FuzzReport,
+    iteration: int,
+    replay_rules: Sequence[Rule] | None,
+) -> None:
+    """One seeded workload, run under the caller-installed context."""
+    with spans.span("fuzz.generate"):
+        system, rng = generate_base_system(config, iteration)
+    perf.count("fuzz.iterations")
+
+    # Interpretation fuzzing: re-roll the Prim interpretation per
+    # workload (seeded, picklable) and check the evaluator, clone,
+    # and pickle legs all agree with the predicate directly.
+    if "interpretation" in enabled:
+        with spans.span("fuzz.interpretation"):
+            system = randomize_interpretation(rng, system)
+            interp_points = sample_points(rng, system, config.points_per_run)
+            interp_failures = check_interpretation_agreement(
+                system, interp_points
+            )
+        report.count_check("prim_agreement", len(interp_points))
+        for failure in interp_failures:
+            report.counterexamples.append(
+                Counterexample(
+                    iteration=iteration,
+                    failure=failure,
+                    trace=_failure_trace(system, failure),
+                )
+            )
+
+    # Oracle: the generator only emits well-formed systems.
+    if "wf" in enabled:
+        report.count_check("generator_wellformed", len(system.runs))
+        for failure in check_clean_system(system):
+            report.counterexamples.append(
+                Counterexample(
+                    iteration=iteration,
+                    failure=failure,
+                    script=describe_run(system.run(failure.run_name)),
+                )
+            )
+
+    # Fault injection + WF classification oracle.
+    mutation = None
+    if "wf" in enabled:
+        with spans.span("fuzz.mutate"):
+            mutation = apply_random_mutator(rng, rng.choice(system.runs))
+    if mutation is not None:
+        perf.count(f"fuzz.mutations.{mutation.name}")
+        stats = report.mutator_stats(mutation.name)
+        stats.applied += 1
+        report.count_check("wf_classification")
+        failure = check_mutation(mutation)
+        if failure is None:
+            stats.detected += 1
+        else:
+            stats.failed += 1
+            report.counterexamples.append(
+                _shrunk_counterexample(iteration, mutation, failure)
+            )
+        # A benign mutant that stayed clean is fresh differential
+        # material: run the evaluator oracles on the mutated system.
+        if failure is None and not mutation.expected:
+            system = _system_with(system, mutation.run)
+
+    # Differential evaluator oracles on the (possibly benign-mutated)
+    # well-formed system.
+    if "differential" in enabled:
+        formulas = sample_formulas(
+            rng, system, config.formulas_per_iteration
+        )
+        points = sample_points(rng, system, config.points_per_run)
+    else:
+        formulas, points = (), ()
+    if formulas and points:
+        checks = len(formulas) * len(points)
+        report.count_check("cache_differential", checks)
+        report.count_check("hide_differential", checks)
+        report.count_check("ground_path_differential", len(points))
+        with spans.span("fuzz.differential", checks=checks):
+            failures = (
+                check_cache_differential(system, formulas, points)
+                + check_hide_differential(system, formulas, points)
+                + check_ground_path_differential(
+                    rng, system, formulas, points
+                )
+            )
+        for failure in failures:
+            run = system.run(failure.run_name) if failure.run_name else None
+            report.counterexamples.append(
+                Counterexample(
+                    iteration=iteration,
+                    failure=failure,
+                    script=describe_run(run) if run is not None else [],
+                    trace=_failure_trace(system, failure),
+                )
+            )
+
+    # Engine-vs-semantics replay: close a true assumption set under
+    # the (A11-excluded) rules, replay every derived fact at the
+    # assumption point.  The derivation doubles as the proof corpus
+    # for the mutation oracle below.
+    derivation = None
+    if enabled & {"engine_replay", "proof_mutation"}:
+        with spans.span("fuzz.engine_replay"):
+            replay_run = rng.choice(system.runs)
+            replay_k = rng.choice(list(replay_run.times))
+            replay_evaluator = Evaluator(system)
+            assumptions = sample_assumptions(
+                rng, system, replay_evaluator, replay_run, replay_k,
+                config.replay_assumptions,
+            )
+            replay_failures, derivation = check_engine_replay(
+                system, replay_run, replay_k, assumptions,
+                rules=replay_rules,
+                max_facts=config.replay_max_facts,
+                evaluator=replay_evaluator,
+            )
+        if "engine_replay" in enabled:
+            derived = len(derivation.origins) if derivation else 0
+            report.count_check("engine_replay", max(derived, 1))
+            for failure in replay_failures:
+                report.counterexamples.append(
+                    _shrunk_replay_counterexample(
+                        iteration, failure, system, replay_run,
+                        replay_k, assumptions, replay_rules,
+                        config.replay_max_facts,
+                    )
+                )
+
+    # Adversarial proof mutation: certify one derived fact into a
+    # checked Hilbert proof and corrupt it; the checker must reject
+    # every non-benign mutant with ProofError and never crash.
+    if "proof_mutation" in enabled and derivation is not None:
+        with spans.span("fuzz.proof_mutation"):
+            proof = _certified_proof(rng, derivation)
+            proof_failures: list[tuple[ProofMutation, OracleFailure]] = []
+            if proof is not None:
+                for _ in range(config.proof_mutations_per_iteration):
+                    proof_mutation = apply_random_proof_mutator(rng, proof)
+                    if proof_mutation is None:
+                        break
+                    perf.count(
+                        f"fuzz.proof_mutations.{proof_mutation.name}"
+                    )
+                    stats = report.proof_mutator_stats(proof_mutation.name)
+                    stats.applied += 1
+                    report.count_check("proof_mutation")
+                    failure = check_proof_mutation(proof_mutation, proof)
+                    if failure is None:
+                        stats.detected += 1
+                    else:
+                        stats.failed += 1
+                        proof_failures.append((proof_mutation, failure))
+        for proof_mutation, failure in proof_failures:
+            report.counterexamples.append(
+                _shrunk_proof_counterexample(
+                    iteration, proof_mutation, proof, failure
+                )
+            )
+
+    # Periodic parallel-sweep differential (a full model-check, so
+    # only every Nth iteration and with a tight instance cap).
+    if (
+        "parallel" in enabled
+        and config.parallel_every
+        and iteration % config.parallel_every == config.parallel_every - 1
+    ):
+        report.count_check("parallel_sweep_differential")
+        with spans.span("fuzz.parallel_sweep"):
+            failure = check_parallel_sweep(
+                system, config.parallel_workers, config.parallel_instances
+            )
+        if failure is not None:
+            report.counterexamples.append(
+                Counterexample(iteration=iteration, failure=failure)
+            )

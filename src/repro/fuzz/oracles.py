@@ -6,7 +6,7 @@ Four families of checks, each independent of the machinery it audits:
   must flag exactly (or at least, for non-exact mutations) the condition
   classes a fault injector tagged, and nothing on clean runs.
 * **Cache/interning differentials** — evaluation results must be
-  identical with warm process-global caches, with every cache cleared,
+  identical with warm caches, under a cold ephemeral engine context,
   and on structurally-equal *non-interned* clones of the formulas
   (exercising the structural ``__hash__``/``__eq__`` fallback paths).
 * **Hide differentials** — ``pattern_hide`` only affects belief:
@@ -25,7 +25,7 @@ import random
 from dataclasses import dataclass, replace
 from typing import Sequence
 
-from repro import perf
+from repro import context
 from repro.model.runs import Run
 from repro.model.system import System
 from repro.model.wellformed import violation_classes
@@ -33,7 +33,7 @@ from repro.semantics.evaluator import Evaluator
 from repro.terms.atoms import Key, Parameter, Sort
 from repro.terms.base import Message
 from repro.terms.formulas import Believes, Formula
-from repro.terms.intern import _TABLE, _field_names, intern_key
+from repro.terms.intern import _field_names, intern_key
 from repro.terms.ops import constants_of_sort, is_ground, transform, walk
 
 from repro.fuzz.mutators import Mutation
@@ -190,13 +190,14 @@ def check_cache_differential(
     formulas: Sequence[Formula],
     points: Sequence[tuple[Run, int]],
 ) -> list[OracleFailure]:
-    """Warm caches vs. cleared caches vs. non-interned clones.
+    """Warm caches vs. cold caches vs. non-interned clones.
 
-    The intern table is snapshotted and restored around the cold phase:
-    clearing it would otherwise permanently demote every term built
-    before this check (they would stop being the canonical instance
-    their structural key resolves to), which is the one global
-    invariant the rest of the process is entitled to rely on.
+    The cold phase runs under an ephemeral :class:`EngineContext`: its
+    intern table, semantic-kernel memos, and evaluator registry are all
+    born empty, and the warm context's tables are never touched — terms
+    interned before this check stay the canonical instances their
+    structural keys resolve to.  (This replaces the old snapshot/restore
+    dance around the shared global intern table.)
     """
     failures = []
     warm = Evaluator(system)
@@ -206,9 +207,7 @@ def check_cache_differential(
         for run, k in points
     }
 
-    interned_before = dict(_TABLE)
-    perf.clear_caches()
-    try:
+    with context.scoped("fuzz-cold-cache"):
         cold = Evaluator(system)
         for formula in formulas:
             for run, k in points:
@@ -217,14 +216,10 @@ def check_cache_differential(
                     failures.append(
                         OracleFailure(
                             "cache_differential",
-                            f"cache-cleared evaluation flipped to {value}",
+                            f"cold-context evaluation flipped to {value}",
                             run_name=run.name, formula=str(formula), time=k,
                         )
                     )
-    finally:
-        # Re-canonicalize the pre-clear instances; duplicates interned
-        # during the cold window fall back to structural __eq__/__hash__.
-        _TABLE.update(interned_before)
 
     uninterned = Evaluator(system)
     for formula in formulas:

@@ -34,34 +34,42 @@ from __future__ import annotations
 
 from typing import AbstractSet, Iterable
 
+from repro import context as _context
 from repro import perf
 from repro.terms.atoms import Key, decryption_key
 from repro.terms.base import Message
 from repro.terms.messages import Combined, Encrypted, Forwarded, Group
 
-#: Memo for :func:`seen_submsgs`: ``(term, key set) -> components``.
-#: Keyed on interned terms (O(1) hash) and frozenset key sets; one
-#: message received by many principals at many times resolves to one
-#: dict lookup per distinct key set.
-_SEEN_MEMO: dict[tuple[Message, frozenset], frozenset[Message]] = {}
+#: The :func:`seen_submsgs` memo — ``(term, key set) -> components`` —
+#: is owned by the current :class:`repro.context.EngineContext`
+#: (``ctx.seen_memo``), entry-capped with wholesale-clear eviction
+#: (``seen_submsgs.evict``).  Keyed on interned terms (O(1) hash) and
+#: frozenset key sets; one message received by many principals at many
+#: times resolves to one dict lookup per distinct key set.
 
-perf.register_cache("seen_submsgs", _SEEN_MEMO.clear, lambda: len(_SEEN_MEMO))
+perf.register_cache(
+    "seen_submsgs",
+    lambda: _context.current().seen_memo.clear(),
+    lambda: len(_context.current().seen_memo),
+)
 
 
 def seen_submsgs(keys: AbstractSet[Key], message: Message) -> frozenset[Message]:
     """The components of ``message`` readable with the given key set."""
     if not isinstance(keys, frozenset):
         keys = frozenset(keys)
+    ctx = _context.current()
     memo_key = (message, keys)
-    cached = _SEEN_MEMO.get(memo_key)
+    cached = ctx.seen_memo.get(memo_key)
+    counters = ctx.counters
     if cached is not None:
-        perf.count("seen_submsgs.hit")
+        counters["seen_submsgs.hit"] = counters.get("seen_submsgs.hit", 0) + 1
         return cached
-    perf.count("seen_submsgs.miss")
+    counters["seen_submsgs.miss"] = counters.get("seen_submsgs.miss", 0) + 1
     out: set[Message] = set()
     _seen_into(keys, message, out)
     cached = frozenset(out)
-    _SEEN_MEMO[memo_key] = cached
+    ctx.seen_memo[memo_key] = cached
     return cached
 
 

@@ -3,9 +3,9 @@
 Where :mod:`repro.perf` answers "how often did each cache hit?", this
 module answers "where did the time go?".  A *span* is one named,
 monotonic-clock-timed region of work (``with spans.span("sweep.schema",
-schema="A1"): ...``); completed spans land in a process-wide buffer as
-plain dicts, so they pickle, merge across processes, and serialize to
-JSONL without any machinery.
+schema="A1"): ...``); completed spans land in the current engine
+context's buffer (:mod:`repro.context`) as plain dicts, so they pickle,
+merge across processes, and serialize to JSONL without any machinery.
 
 Design points, mirroring ``perf``:
 
@@ -37,6 +37,8 @@ import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Iterable, Iterator, Mapping
+
+from repro import context as _context
 
 
 class SpanRecorder:
@@ -194,58 +196,59 @@ def summarize(
     return out
 
 
-#: The process-wide default recorder; the module-level functions below
-#: delegate to it, mirroring the ``perf.counters`` singleton.
-_RECORDER = SpanRecorder()
+#: The module-level functions below delegate to the *current engine
+#: context's* recorder, mirroring ``perf.counters``: one shared buffer
+#: per process by default (the default context), a private buffer per
+#: session when a workload runs under :func:`repro.context.use`.
 
 
 def recorder() -> SpanRecorder:
-    return _RECORDER
+    return _context.current().spans
 
 
 def span(name: str, **attrs: Any):
-    return _RECORDER.span(name, **attrs)
+    return recorder().span(name, **attrs)
 
 
 def record(name: str, seconds: float, **attrs: Any) -> None:
-    _RECORDER.record(name, seconds, **attrs)
+    recorder().record(name, seconds, **attrs)
 
 
 def event(name: str, **attrs: Any) -> None:
-    _RECORDER.event(name, **attrs)
+    recorder().event(name, **attrs)
 
 
 def mark() -> int:
-    return _RECORDER.mark()
+    return recorder().mark()
 
 
 def delta_since(position: int) -> list[dict[str, Any]]:
-    return _RECORDER.delta_since(position)
+    return recorder().delta_since(position)
 
 
 def merge(samples: Iterable[Mapping[str, Any]]) -> None:
-    _RECORDER.merge(samples)
+    recorder().merge(samples)
 
 
 def snapshot() -> tuple[dict[str, Any], ...]:
-    return _RECORDER.snapshot()
+    return recorder().snapshot()
 
 
 def reset() -> None:
-    _RECORDER.reset()
+    recorder().reset()
 
 
 def summary() -> dict[str, dict[str, Any]]:
-    return _RECORDER.summary()
+    return recorder().summary()
 
 
 def histogram(name: str, base: float = 2.0) -> list[tuple[float, int]]:
-    return _RECORDER.histogram(name, base)
+    return recorder().histogram(name, base)
 
 
 def render() -> str:
-    return _RECORDER.render()
+    return recorder().render()
 
 
 def write_jsonl(path: str) -> int:
-    return _RECORDER.write_jsonl(path)
+    return recorder().write_jsonl(path)

@@ -9,9 +9,16 @@ Every memoization layer in the library — the term intern tables
 that one snapshot shows where a workload's time is going and whether
 the caches are actually earning their keep.
 
-The module is deliberately dependency-free (it must be importable from
-the bottom of the stack) and the counters are plain dict increments:
+The module sits near the bottom of the stack (it depends only on
+:mod:`repro.context`) and the counters are plain dict increments:
 cheap enough to leave on permanently.
+
+Counter *storage* lives on the current :class:`repro.context.EngineContext`
+— two workloads under separate contexts keep disjoint tables — while
+this module stays the one API every layer talks to.  ``perf.counters``
+is a live view of the current context's table, so existing reads
+(``perf.counters.get(...)``) and test fixtures (``.update``, ``.clear``)
+keep working unchanged.
 
 Usage::
 
@@ -29,13 +36,53 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Callable, Mapping
+from collections.abc import MutableMapping
+from typing import Any, Callable, Iterator, Mapping
 
-#: Flat counter table: ``"layer.event" -> count``.  Layers use
-#: ``hit``/``miss`` suffixes so :func:`hit_rates` can pair them up.
-counters: dict[str, int] = {}
+from repro import context as _context
 
-#: Registered cache-clearing callbacks, keyed by cache name.
+
+class _CountersView(MutableMapping):
+    """A live, mutable view of the *current* context's counter table.
+
+    ``"layer.event" -> count``; layers use ``hit``/``miss`` suffixes so
+    :func:`hit_rates` can pair them up.  Every operation resolves
+    :func:`repro.context.current` at call time, so the same
+    ``perf.counters`` name always denotes the table of whichever
+    context is active.
+    """
+
+    __slots__ = ()
+
+    def __getitem__(self, event: str) -> int:
+        return _context.current().counters[event]
+
+    def __setitem__(self, event: str, n: int) -> None:
+        _context.current().counters[event] = n
+
+    def __delitem__(self, event: str) -> None:
+        del _context.current().counters[event]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_context.current().counters)
+
+    def __len__(self) -> int:
+        return len(_context.current().counters)
+
+    def __contains__(self, event: object) -> bool:
+        return event in _context.current().counters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(_context.current().counters)
+
+
+#: The current context's flat counter table (a live view).
+counters: MutableMapping = _CountersView()
+
+#: Registered cache-clearing callbacks, keyed by cache name.  The
+#: registry itself is process-global — a layer registers once at import
+#: — but each callback resolves the current context's table at call
+#: time, so clearing/sizing always acts on the active session.
 _cache_clearers: dict[str, Callable[[], None]] = {}
 
 #: Registered cache-size probes, keyed by cache name.
@@ -44,12 +91,14 @@ _cache_sizers: dict[str, Callable[[], int]] = {}
 
 def count(event: str, n: int = 1) -> None:
     """Increment a counter (creates it on first use)."""
-    counters[event] = counters.get(event, 0) + n
+    table = _context.current().counters
+    table[event] = table.get(event, 0) + n
 
 
 def reset_counters() -> None:
-    """Zero every counter without touching the caches themselves."""
-    counters.clear()
+    """Zero every counter (of the current context) without touching the
+    caches themselves."""
+    _context.current().counters.clear()
 
 
 def merge_counters(extra: Mapping[str, int]) -> None:
@@ -59,8 +108,9 @@ def merge_counters(extra: Mapping[str, int]) -> None:
     back to the parent (see :mod:`repro.soundness.sweep`); merging here
     keeps ``report()``/``snapshot()`` complete for parallel workloads.
     """
+    table = _context.current().counters
     for event, n in extra.items():
-        count(event, n)
+        table[event] = table.get(event, 0) + n
 
 
 def register_cache(
@@ -84,7 +134,10 @@ def cache_sizes() -> dict[str, int]:
 
 def snapshot() -> dict[str, Any]:
     """Counters plus cache sizes, as one plain-dict snapshot."""
-    return {"counters": dict(counters), "cache_sizes": cache_sizes()}
+    return {
+        "counters": dict(_context.current().counters),
+        "cache_sizes": cache_sizes(),
+    }
 
 
 def hit_rates() -> dict[str, float]:
@@ -93,15 +146,16 @@ def hit_rates() -> dict[str, float]:
     Layers are derived from *both* suffixes: a cold cache that recorded
     only misses still appears (at rate 0.0), matching ``report()``.
     """
+    table = _context.current().counters
     rates: dict[str, float] = {}
     layers = {
         event.rsplit(".", 1)[0]
-        for event in counters
+        for event in table
         if event.endswith((".hit", ".miss"))
     }
     for layer in layers:
-        hits = counters.get(layer + ".hit", 0)
-        misses = counters.get(layer + ".miss", 0)
+        hits = table.get(layer + ".hit", 0)
+        misses = table.get(layer + ".miss", 0)
         total = hits + misses
         if total:
             rates[layer] = hits / total
@@ -110,19 +164,20 @@ def hit_rates() -> dict[str, float]:
 
 def report() -> str:
     """Human-readable counter/cache summary (the ``perf`` CLI body)."""
+    table = _context.current().counters
     lines = ["layer                          hits      misses    hit-rate"]
     lines.append("-" * len(lines[0]))
     layers = sorted(
-        {e.rsplit(".", 1)[0] for e in counters if e.endswith((".hit", ".miss"))}
+        {e.rsplit(".", 1)[0] for e in table if e.endswith((".hit", ".miss"))}
     )
     for layer in layers:
-        hits = counters.get(layer + ".hit", 0)
-        misses = counters.get(layer + ".miss", 0)
+        hits = table.get(layer + ".hit", 0)
+        misses = table.get(layer + ".miss", 0)
         total = hits + misses
         rate = f"{hits / total:8.1%}" if total else "     n/a"
         lines.append(f"{layer:<28} {hits:>9} {misses:>11} {rate:>11}")
     other = {
-        e: n for e, n in sorted(counters.items())
+        e: n for e, n in sorted(table.items())
         if not e.endswith((".hit", ".miss"))
     }
     for event, n in other.items():

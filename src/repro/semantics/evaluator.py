@@ -13,9 +13,9 @@ audits both derivation engines against it.
 
 from __future__ import annotations
 
-import weakref
 from typing import Iterator, TYPE_CHECKING
 
+from repro import context as _context
 from repro import perf
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -52,27 +52,26 @@ from repro.terms.formulas import (
 from repro.terms.messages import Combined, Encrypted
 from repro.terms.ops import free_parameters, is_ground, submessages_of_all, substitute
 
-#: Live evaluators, so the per-instance memo tables participate in the
-#: process-wide cache registry (``perf.clear_caches``/``cache_sizes``)
-#: like every other memoization layer.  Weak references: registration
-#: must not keep finished evaluators (and their systems) alive.
-_EVALUATORS: "weakref.WeakSet[Evaluator]" = weakref.WeakSet()
+#: Live evaluators register with the *current engine context*
+#: (``ctx.evaluators``, a WeakSet) so their per-instance memo tables
+#: participate in the cache registry (``perf.clear_caches``/
+#: ``cache_sizes``) like every other memoization layer — per session,
+#: not per process.  Weak references: registration must not keep
+#: finished evaluators (and their systems) alive.
 
 
 def _clear_evaluator_memos() -> None:
-    for evaluator in list(_EVALUATORS):
-        evaluator._memo.clear()
-        evaluator._hidden.clear()
-        evaluator._possible.clear()
-        evaluator._said.clear()
-        evaluator._seen.clear()
-        evaluator._past.clear()
+    for evaluator in list(_context.current().evaluators):
+        evaluator.clear_memos()
 
 
 perf.register_cache(
     "eval_memo",
     _clear_evaluator_memos,
-    lambda: sum(len(evaluator._memo) for evaluator in list(_EVALUATORS)),
+    lambda: sum(
+        len(evaluator._memo)
+        for evaluator in list(_context.current().evaluators)
+    ),
 )
 
 
@@ -108,9 +107,19 @@ class Evaluator:
         self._said: dict[tuple[Principal, str], tuple[tuple[int, frozenset], ...]] = {}
         self._seen: dict[tuple[Principal, str, int], frozenset] = {}
         self._past: dict[str, frozenset] = {}
-        _EVALUATORS.add(self)
+        _context.current().evaluators.add(self)
 
     # -- public API -------------------------------------------------------------
+
+    def clear_memos(self) -> None:
+        """Empty every per-instance memo table (the ``eval_memo`` layer's
+        clearer, also used by :meth:`EngineContext.clear_session_caches`)."""
+        self._memo.clear()
+        self._hidden.clear()
+        self._possible.clear()
+        self._said.clear()
+        self._seen.clear()
+        self._past.clear()
 
     def cache_stats(self) -> dict[str, int]:
         """Sizes of this evaluator's internal memo tables.

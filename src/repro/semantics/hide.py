@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import AbstractSet
 
+from repro import context as _context
 from repro import perf
 from repro.model.actions import Action, Internal, NewKey, Receive, Send
 from repro.model.runs import Run
@@ -35,14 +36,19 @@ OPAQUE = Opaque()
 HiddenView = tuple
 
 
-#: Memo for :func:`hide_message`: ``(term, key set) -> hidden term``.
-#: Terms are interned and key sets are frozensets, so both hash in O(1)
+#: The ``hide`` memo — ``(term, key set) -> hidden term`` — is owned by
+#: the current :class:`repro.context.EngineContext` (``ctx.hide_memo``),
+#: entry-capped with wholesale-clear eviction (``hide.evict``).  Terms
+#: are interned and key sets are frozensets, so both hash in O(1)
 #: (after the first frozenset hash, which Python caches internally);
 #: the same message re-hidden at every time step of every run costs one
 #: dict lookup after the first computation.
-_HIDE_MEMO: dict[tuple[Message, frozenset], Message] = {}
 
-perf.register_cache("hide", _HIDE_MEMO.clear, lambda: len(_HIDE_MEMO))
+perf.register_cache(
+    "hide",
+    lambda: _context.current().hide_memo.clear(),
+    lambda: len(_context.current().hide_memo),
+)
 
 
 def hide_message(keys: AbstractSet[Key], message: Message) -> Message:
@@ -56,21 +62,24 @@ def hide_message(keys: AbstractSet[Key], message: Message) -> Message:
     """
     if not isinstance(keys, frozenset):
         keys = frozenset(keys)
-    return _hide_memoized(keys, message)
+    ctx = _context.current()
+    return _hide_memoized(ctx.hide_memo, ctx.counters, keys, message)
 
 
-def _hide_memoized(keys: frozenset, message: Message) -> Message:
+def _hide_memoized(
+    memo: dict, counters: dict, keys: frozenset, message: Message
+) -> Message:
     memo_key = (message, keys)
-    cached = _HIDE_MEMO.get(memo_key)
+    cached = memo.get(memo_key)
     if cached is not None:
-        perf.count("hide.hit")
+        counters["hide.hit"] = counters.get("hide.hit", 0) + 1
         return cached
-    perf.count("hide.miss")
+    counters["hide.miss"] = counters.get("hide.miss", 0) + 1
     if isinstance(message, Encrypted):
         if decryption_key(message.key) not in keys:
             hidden: Message = OPAQUE
         else:
-            body = _hide_memoized(keys, message.body)
+            body = _hide_memoized(memo, counters, keys, message.body)
             hidden = (
                 message
                 if body is message.body
@@ -78,9 +87,11 @@ def _hide_memoized(keys: frozenset, message: Message) -> Message:
             )
     else:
         kids = children(message)
-        new_kids = tuple(_hide_memoized(keys, kid) for kid in kids)
+        new_kids = tuple(
+            _hide_memoized(memo, counters, keys, kid) for kid in kids
+        )
         hidden = message if new_kids == kids else rebuild(message, new_kids)
-    _HIDE_MEMO[memo_key] = hidden
+    memo[memo_key] = hidden
     return hidden
 
 

@@ -21,7 +21,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro import perf
+from repro import context, perf
 from repro.logic.axioms import AXIOMS, InstancePool, Schema
 from repro.obs import spans
 from repro.logic.rules import transparent
@@ -396,27 +396,27 @@ def _sweep_shard(
 ) -> tuple[SweepReport, dict[str, int], list[dict]]:
     """Worker entry point: one system, one contiguous slice of schemas.
 
+    The shard runs under an **ephemeral engine context**: its caches,
+    counters, and spans are born empty and die with the shard, so
+    executor-process reuse cannot bleed one shard's state into the
+    next, and the shard's whole counter table/span buffer *is* the
+    delta to ship home — no mark/``delta_since`` bookkeeping against a
+    shared global table.
+
     Returns the shard report, the perf-counter delta, *and* the span
     delta the shard produced, so the parent can merge worker cache
-    statistics and wall-clock spans into its own tables
+    statistics and wall-clock spans into its own context
     (``BENCH_sweep.json`` would otherwise under-report hits/misses and
-    lose per-schema timings for parallel runs).  Deltas — not raw
-    tables/buffers — are the transport unit because executor processes
-    are reused across shards.
+    lose per-schema timings for parallel runs).
     """
-    before = dict(perf.counters)
-    span_mark = spans.mark()
-    schemas = tuple(AXIOMS[name] for name in schema_names)
-    report = _sweep_in_process(
-        system, schemas, goodruns, max_instances_per_schema,
-        pattern_hide, max_violations_per_schema,
-    )
-    delta = {
-        event: n - before.get(event, 0)
-        for event, n in perf.counters.items()
-        if n != before.get(event, 0)
-    }
-    return report, delta, spans.delta_since(span_mark)
+    shard_ctx = context.fresh(f"sweep-shard:{schema_names[0]}")
+    with context.use(shard_ctx):
+        schemas = tuple(AXIOMS[name] for name in schema_names)
+        report = _sweep_in_process(
+            system, schemas, goodruns, max_instances_per_schema,
+            pattern_hide, max_violations_per_schema,
+        )
+    return report, shard_ctx.counter_delta(), shard_ctx.span_delta()
 
 
 def _sweep_parallel(

@@ -7,43 +7,53 @@ on terms, is threefold:
 
 * **O(1) hashing** — each node carries a precomputed ``_hash``, so a
   dict lookup on a deep formula no longer re-walks the tree;
-* **identity-fast equality** — within a process, structurally equal
+* **identity-fast equality** — within a context, structurally equal
   terms *are* the same object, so ``==`` is usually a pointer compare;
 * **O(1) structural memoization** — derived attributes (submessage
   sets, free parameters, sizes) can be cached directly on the canonical
-  node (:mod:`repro.terms.ops`), shared by every context that mentions
+  node (:mod:`repro.terms.ops`), shared by every formula that mentions
   the term.
 
 This is the same technique industrial symbolic engines use for their
 term DAGs (hash-consed facts in multiset-rewriting checkers, shared
 BDD nodes in model checkers).
 
+The table is owned by the current :class:`repro.context.EngineContext`
+— one table per session, the process-default context preserving the
+old one-table-per-process behaviour.  Terms built under different
+contexts are distinct canonical instances that still compare (and
+hash) structurally equal: ``Message.__eq__``/``__hash__`` never depend
+on canonicity, only profit from it.
+
 Interning survives pickling: ``Message.__reduce__`` rebuilds terms
 through their constructors, so terms arriving from a worker process
-(the parallel soundness sweep) are re-interned — and re-hashed, which
-matters because Python string hashing is per-process randomized.
+(the parallel soundness sweep) are re-interned into the *receiving*
+context's table — and re-hashed, which matters because Python string
+hashing is per-process randomized.
 
 The table holds *weak* references: terms no longer referenced anywhere
 else are garbage-collected normally, so long-lived processes do not
 accumulate every term they ever built.  ``repro.perf.clear_caches()``
-empties the table explicitly.
+empties the current context's table explicitly.
 """
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import fields
 from typing import Any
 
+from repro import context as _context
 from repro import perf
 
-#: The global intern table: structural key -> canonical instance.
-_TABLE: "weakref.WeakValueDictionary[tuple, Any]" = weakref.WeakValueDictionary()
-
 #: Per-class tuple of field names, computed once per dataclass.
+#: Immutable class metadata, not session state — deliberately global.
 _FIELD_NAMES: dict[type, tuple[str, ...]] = {}
 
-perf.register_cache("intern", _TABLE.clear, lambda: len(_TABLE))
+perf.register_cache(
+    "intern",
+    lambda: _context.current().intern_table.clear(),
+    lambda: len(_context.current().intern_table),
+)
 
 
 def _field_names(cls: type) -> tuple[str, ...]:
@@ -59,20 +69,23 @@ class InternMeta(type):
 
     ``cls(...)`` constructs (and validates, via ``__post_init__``) a
     candidate instance, then returns the canonical instance for its
-    structural key, creating one if needed.  The structural hash is
-    computed exactly once, here, and stored on the instance.
+    structural key in the current context's table, creating one if
+    needed.  The structural hash is computed exactly once, here, and
+    stored on the instance.
     """
 
     def __call__(cls, *args: Any, **kwargs: Any) -> Any:
         obj = super().__call__(*args, **kwargs)
         key = (cls, *(getattr(obj, name) for name in _field_names(cls)))
-        canonical = _TABLE.get(key)
+        ctx = _context.current()
+        canonical = ctx.intern_table.get(key)
+        counters = ctx.counters
         if canonical is not None:
-            perf.count("intern.hit")
+            counters["intern.hit"] = counters.get("intern.hit", 0) + 1
             return canonical
-        perf.count("intern.miss")
+        counters["intern.miss"] = counters.get("intern.miss", 0) + 1
         object.__setattr__(obj, "_hash", hash(key))
-        _TABLE[key] = obj
+        ctx.intern_table[key] = obj
         return obj
 
 
@@ -88,9 +101,10 @@ def reconstruct(cls: type, values: tuple) -> Any:
 
 
 def intern_stats() -> dict[str, int]:
-    """Size of the intern table plus its hit/miss counters."""
+    """Size of the current context's intern table plus its counters."""
+    ctx = _context.current()
     return {
-        "size": len(_TABLE),
-        "hits": perf.counters.get("intern.hit", 0),
-        "misses": perf.counters.get("intern.miss", 0),
+        "size": len(ctx.intern_table),
+        "hits": ctx.counters.get("intern.hit", 0),
+        "misses": ctx.counters.get("intern.miss", 0),
     }

@@ -1,0 +1,86 @@
+"""CI gate: no new module-level mutable containers in ``src/repro``.
+
+PR 5 moved all per-session engine state onto
+:class:`repro.context.EngineContext`; this wraps ``tools/lint_globals.py``
+as a test so a stray new global cache fails the suite, not just the
+standalone CI job.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import lint_globals  # noqa: E402
+
+
+class TestRepoIsClean:
+    def test_no_unlisted_module_level_mutable_state(self):
+        violations, _used = lint_globals.check()
+        assert violations == [], "\n".join(violations)
+
+    def test_allowlist_has_no_stale_entries(self):
+        _violations, used = lint_globals.check()
+        stale = sorted(lint_globals.ALLOWLIST - used)
+        assert stale == [], f"stale allowlist entries: {stale}"
+
+    def test_removed_globals_are_not_allowlisted(self):
+        # The whole point of the context refactor: these must never
+        # come back as module-level state.
+        removed = {
+            "repro/terms/intern.py:_TABLE",
+            "repro/semantics/hide.py:_HIDE_MEMO",
+            "repro/model/submsgs.py:_SEEN_MEMO",
+            "repro/semantics/evaluator.py:_EVALUATORS",
+            "repro/obs/spans.py:_RECORDER",
+        }
+        assert not removed & lint_globals.ALLOWLIST
+
+
+class TestLintDetection:
+    """The lint itself must catch what it claims to catch."""
+
+    def _scan(self, tmp_path, source):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "offender.py").write_text(source, encoding="utf-8")
+        violations, _used = lint_globals.check(src_root=tmp_path)
+        return violations
+
+    def test_flags_dict_literal(self, tmp_path):
+        violations = self._scan(tmp_path, "_CACHE = {}\n")
+        assert len(violations) == 1
+        assert "_CACHE" in violations[0]
+
+    def test_flags_constructor_calls(self, tmp_path):
+        source = (
+            "import weakref\n"
+            "from collections import defaultdict\n"
+            "TABLE = weakref.WeakValueDictionary()\n"
+            "MEMO = defaultdict(list)\n"
+            "ITEMS = list()\n"
+        )
+        violations = self._scan(tmp_path, source)
+        assert len(violations) == 3
+
+    def test_flags_annotated_assignment_and_comprehension(self, tmp_path):
+        source = "REGISTRY: dict = {k: [] for k in range(3)}\n"
+        violations = self._scan(tmp_path, "SEEN = {x for x in 'ab'}\n" + source)
+        assert len(violations) == 2
+
+    def test_ignores_immutable_and_scoped_state(self, tmp_path):
+        source = (
+            "NAMES = ('a', 'b')\n"
+            "LIMIT = 42\n"
+            "FROZEN = frozenset({'x'})\n"
+            "__all__ = ['NAMES']\n"
+            "def build():\n"
+            "    local = {}\n"
+            "    return local\n"
+            "class Holder:\n"
+            "    table = {}\n"
+        )
+        assert self._scan(tmp_path, source) == []

@@ -71,8 +71,10 @@ class TestParallelSweepCounters:
     def _eval_memo_events(counters):
         # eval_memo is scoped to the per-shard Evaluator instance, so its
         # counts are identical whichever process runs the shard.  The
-        # process-global layers (intern, ops, hide, seen_submsgs) warm
-        # differently across worker processes and are not comparable.
+        # node-attached structural memos (ops.*) and the term-keyed
+        # layers warm differently depending on whether the system's
+        # terms arrived warm (in-process) or freshly unpickled (worker
+        # process), so only eval_memo events are comparable.
         return {
             event: n for event, n in counters.items()
             if event.startswith("eval_memo.")
@@ -83,9 +85,15 @@ class TestParallelSweepCounters:
         shards = self._shards(system, 2)
 
         # Expected: the same shards executed in-process, sequentially.
+        # Each shard runs in its own ephemeral context and *returns*
+        # its counter delta (no side effect on the caller's table), so
+        # the expected totals are the merged deltas.
         perf.reset_counters()
         for shard_system, group in shards:
-            _sweep_shard(shard_system, group, None, 12, False, 25)
+            _report, delta, _spans = _sweep_shard(
+                shard_system, group, None, 12, False, 25
+            )
+            perf.merge_counters(delta)
         expected = self._eval_memo_events(perf.counters)
 
         perf.reset_counters()
