@@ -113,6 +113,40 @@ def test_bench_hide_variants_agree_on_protocol_goals(benchmark):
     assert collapse == pattern is True
 
 
+def test_bench_large_system_compiled_evaluation(benchmark):
+    """The compiled engine on a system an order of magnitude past E3.
+
+    E3's sweep covers ~160 points; this system has ~1600 (8 runs × 200
+    steps), the scale where per-point interpretation stops being
+    viable.  Each round compiles cold — construction, table building,
+    and whole-system bitset evaluation are all on the clock."""
+    from repro.semantics.compiler import CompiledSystem
+    from repro.soundness import GeneratorConfig, generate_system
+    from repro.soundness.sweep import pool_from_system
+    from repro.terms.ops import is_ground
+
+    system = generate_system(
+        GeneratorConfig(runs=8, steps_per_run=200, seed=11)
+    )
+    points = tuple(system.points())
+    assert len(points) >= 10 * 162  # ≥10× the E3 sweep's point count
+    pool = pool_from_system(system)
+    probe = CompiledSystem(system)
+    formulas = [
+        formula
+        for formula in pool.formulas
+        if is_ground(formula) and probe._supported(formula)
+    ][:8]
+    assert len(formulas) == 8
+
+    def evaluate_all():
+        compiled = CompiledSystem(system)  # cold compile each round
+        return [compiled.truth_bits(formula) for formula in formulas]
+
+    bits = benchmark(evaluate_all)
+    assert all(value is not None for value in bits)
+
+
 def test_bench_goodrun_construction_on_protocol_system(benchmark):
     """The Section 7 construction over the Kerberos system."""
     from repro.goodruns import construct_good_runs

@@ -158,6 +158,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         systems,
         max_instances_per_schema=args.instances,
         workers=args.workers,
+        engine=args.engine,
     )
     print(report.render())
     for violation in report.essential_violations[:10]:
@@ -170,52 +171,73 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.obs import run_metadata, spans
     from repro.soundness import generate_systems, sweep_systems
 
+    engines = (
+        ("compiled", "interpreted") if args.engine == "both"
+        else (args.engine,)
+    )
     spans.reset()
     with spans.span("perf.generate"):
         with perf.Stopwatch() as generation:
             systems = generate_systems(args.systems, base_seed=args.seed)
     perf.reset_counters()
-    with spans.span("perf.sweep_cold"):
-        with perf.Stopwatch() as cold:
-            report = sweep_systems(
-                systems,
-                max_instances_per_schema=args.instances,
-                workers=args.workers,
-            )
-    # A second, identical sweep shows what the process-global term
-    # caches (interning, ops memos, hide views) buy on a warm process.
-    with spans.span("perf.sweep_warm"):
-        with perf.Stopwatch() as warm:
-            sweep_systems(
-                systems,
-                max_instances_per_schema=args.instances,
-                workers=args.workers,
-            )
+    measurements: dict = {
+        "generate_systems_s": round(generation.seconds, 6),
+    }
+    report = None
+    for engine in engines:
+        with spans.span("perf.sweep_cold", engine=engine):
+            with perf.Stopwatch() as cold:
+                engine_report = sweep_systems(
+                    systems,
+                    max_instances_per_schema=args.instances,
+                    workers=args.workers,
+                    engine=engine,
+                )
+        # A second, identical sweep shows what the session caches
+        # (interning, ops memos, hide views, compiled systems) buy on
+        # a warm process.
+        with spans.span("perf.sweep_warm", engine=engine):
+            with perf.Stopwatch() as warm:
+                sweep_systems(
+                    systems,
+                    max_instances_per_schema=args.instances,
+                    workers=args.workers,
+                    engine=engine,
+                )
+        measurements[f"sweep_cold_{engine}_s"] = round(cold.seconds, 6)
+        measurements[f"sweep_warm_{engine}_s"] = round(warm.seconds, 6)
+        if report is None:
+            # The first engine listed is the adopted default; its
+            # numbers also fill the legacy keys so BENCH trajectories
+            # stay comparable across records.
+            report = engine_report
+            measurements["sweep_cold_s"] = round(cold.seconds, 6)
+            measurements["sweep_warm_s"] = round(warm.seconds, 6)
+        print(
+            f"[{engine}] sweep (cold) {cold.seconds:.3f}s | "
+            f"sweep (warm) {warm.seconds:.3f}s"
+        )
+    measurements.update(
+        total_instances=report.total_instances,
+        total_violations=report.total_violations,
+        essential_violations=len(report.essential_violations),
+    )
     print(report.render())
     print()
     print(perf.report())
     print()
     print(spans.render())
     print()
-    print(
-        f"generation {generation.seconds:.3f}s | sweep (cold) "
-        f"{cold.seconds:.3f}s | sweep (warm) {warm.seconds:.3f}s"
-    )
+    print(f"generation {generation.seconds:.3f}s")
     perf.write_bench_json(
         args.output,
-        measurements={
-            "generate_systems_s": round(generation.seconds, 6),
-            "sweep_cold_s": round(cold.seconds, 6),
-            "sweep_warm_s": round(warm.seconds, 6),
-            "total_instances": report.total_instances,
-            "total_violations": report.total_violations,
-            "essential_violations": len(report.essential_violations),
-        },
+        measurements=measurements,
         parameters={
             "systems": args.systems,
             "instances": args.instances,
             "seed": args.seed,
             "workers": args.workers,
+            "engine": args.engine,
         },
         spans=spans.summary(),
         meta=run_metadata(command="perf", workers=args.workers),
@@ -384,6 +406,10 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=1,
         help="process-pool workers for the sweep (1 = in-process)",
     )
+    sweep_parser.add_argument(
+        "--engine", choices=["compiled", "interpreted"], default="compiled",
+        help="evaluation engine for the sweep (default: compiled)",
+    )
     _add_isolated(sweep_parser)
 
     perf_parser = sub.add_parser(
@@ -393,6 +419,11 @@ def main(argv: list[str] | None = None) -> int:
     perf_parser.add_argument("--instances", type=int, default=60)
     perf_parser.add_argument("--seed", type=int, default=0)
     perf_parser.add_argument("--workers", type=int, default=1)
+    perf_parser.add_argument(
+        "--engine", choices=["compiled", "interpreted", "both"],
+        default="both",
+        help="which engine(s) to time (default: both, compiled first)",
+    )
     perf_parser.add_argument(
         "--output", default="BENCH_sweep.json",
         help="where to write the machine-readable benchmark record",

@@ -135,6 +135,8 @@ class EngineContext:
         "seen_memo",
         "counters",
         "evaluators",
+        "compiled_systems",
+        "cache_peaks",
         "_spans",
         "__weakref__",
     )
@@ -150,6 +152,14 @@ class EngineContext:
         self.seen_memo = BoundedMemo("seen_submsgs", memo_cap)
         self.counters: dict[str, int] = {}
         self.evaluators: "weakref.WeakSet" = weakref.WeakSet()
+        # Compiled-system cache (repro.semantics.compiler): holds systems
+        # strongly, so the cap is deliberately small — a session works a
+        # handful of systems at a time, not thousands.
+        self.compiled_systems = BoundedMemo("compiled_systems", min(memo_cap, 256))
+        # High-water marks of the registered perf caches, maxed in by
+        # perf.observe_cache_peaks(); survives the caches themselves
+        # dying (weakly-registered evaluator memos) or being cleared.
+        self.cache_peaks: dict[str, int] = {}
         self._spans = None
 
     # -- lazily-built members --------------------------------------------------
@@ -213,6 +223,7 @@ class EngineContext:
         self.intern_table.clear()
         self.hide_memo.clear()
         self.seen_memo.clear()
+        self.compiled_systems.clear()
         for evaluator in list(self.evaluators):
             evaluator.clear_memos()
 

@@ -25,12 +25,14 @@ from repro.soundness.generators import GeneratorConfig, generate_system
 from repro.terms.atoms import Sort
 
 #: The selectable oracle families (``fuzz --oracles``): WF fault
-#: injection/classification, the evaluator differentials, the periodic
+#: injection/classification, the evaluator differentials, the
+#: compiled-vs-interpreted engine differential, the periodic
 #: parallel-sweep comparison, engine-vs-semantics derivation replay,
 #: adversarial proof mutation, and interpretation fuzzing.
 ORACLE_FAMILIES: tuple[str, ...] = (
     "wf",
     "differential",
+    "compiled",
     "parallel",
     "engine_replay",
     "proof_mutation",

@@ -35,7 +35,7 @@ from repro.model.system import System
 from repro.obs import run_metadata, spans
 from repro.obs.spans import summarize
 from repro.obs.trace import render_why, trace_evaluation
-from repro.semantics.evaluator import Evaluator
+from repro.semantics.compiler import compiled_for
 
 from repro.fuzz.generate import (
     ORACLE_FAMILIES,
@@ -54,6 +54,7 @@ from repro.fuzz.oracles import (
     OracleFailure,
     check_cache_differential,
     check_clean_system,
+    check_compiled_differential,
     check_ground_path_differential,
     check_hide_differential,
     check_mutation,
@@ -465,14 +466,14 @@ def _fuzz_iteration(
 
     # Differential evaluator oracles on the (possibly benign-mutated)
     # well-formed system.
-    if "differential" in enabled:
+    if enabled & {"differential", "compiled"}:
         formulas = sample_formulas(
             rng, system, config.formulas_per_iteration
         )
         points = sample_points(rng, system, config.points_per_run)
     else:
         formulas, points = (), ()
-    if formulas and points:
+    if "differential" in enabled and formulas and points:
         checks = len(formulas) * len(points)
         report.count_check("cache_differential", checks)
         report.count_check("hide_differential", checks)
@@ -496,6 +497,29 @@ def _fuzz_iteration(
                 )
             )
 
+    # Compiled-vs-interpreted engine differential: the fast path the
+    # sweep/audit/replay loops adopted must stay byte-identical to the
+    # interpreter, under both hide variants.
+    if "compiled" in enabled and formulas and points:
+        checks = len(formulas) * len(points) * 2
+        report.count_check("compiled_vs_interpreted", checks)
+        with spans.span("fuzz.compiled", checks=checks):
+            compiled_failures = check_compiled_differential(
+                system, formulas, points
+            ) + check_compiled_differential(
+                system, formulas, points, pattern_hide=True
+            )
+        for failure in compiled_failures:
+            run = system.run(failure.run_name) if failure.run_name else None
+            report.counterexamples.append(
+                Counterexample(
+                    iteration=iteration,
+                    failure=failure,
+                    script=describe_run(run) if run is not None else [],
+                    trace=_failure_trace(system, failure),
+                )
+            )
+
     # Engine-vs-semantics replay: close a true assumption set under
     # the (A11-excluded) rules, replay every derived fact at the
     # assumption point.  The derivation doubles as the proof corpus
@@ -505,7 +529,7 @@ def _fuzz_iteration(
         with spans.span("fuzz.engine_replay"):
             replay_run = rng.choice(system.runs)
             replay_k = rng.choice(list(replay_run.times))
-            replay_evaluator = Evaluator(system)
+            replay_evaluator = compiled_for(system)
             assumptions = sample_assumptions(
                 rng, system, replay_evaluator, replay_run, replay_k,
                 config.replay_assumptions,

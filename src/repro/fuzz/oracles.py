@@ -348,6 +348,51 @@ def check_ground_path_differential(
     return failures
 
 
+def check_compiled_differential(
+    system: System,
+    formulas: Sequence[Formula],
+    points: Sequence[tuple[Run, int]],
+    goodruns=None,
+    pattern_hide: bool = False,
+) -> list[OracleFailure]:
+    """Compiled engine vs. the interpreter: byte-identical verdicts.
+
+    Every (formula, point) pair is evaluated by both engines — the
+    recursive :class:`Evaluator` and the bitset
+    :class:`~repro.semantics.compiler.CompiledSystem` — and both the
+    truth verdict *and* the error outcome must match exactly.  This is
+    the safety net under the compiled hot path: the sweep, the audit,
+    and the engine-replay oracle all route through compilation, so any
+    divergence here is a soundness bug, not a performance one.
+    """
+    from repro.errors import SemanticsError
+    from repro.semantics.compiler import compiled_for
+
+    failures = []
+    interpreter = Evaluator(system, goodruns, pattern_hide=pattern_hide)
+    compiled = compiled_for(system, goodruns, pattern_hide=pattern_hide)
+    for formula in formulas:
+        for run, k in points:
+            try:
+                expected = (interpreter.evaluate(formula, run, k), None)
+            except SemanticsError as error:
+                expected = (None, str(error))
+            try:
+                actual = (compiled.evaluate(formula, run, k), None)
+            except SemanticsError as error:
+                actual = (None, str(error))
+            if expected != actual:
+                failures.append(
+                    OracleFailure(
+                        "compiled_vs_interpreted",
+                        f"interpreter said {expected}, compiled engine "
+                        f"said {actual}",
+                        run_name=run.name, formula=str(formula), time=k,
+                    )
+                )
+    return failures
+
+
 def sweep_fingerprint(report) -> tuple:
     """Everything observable about a sweep report, as comparable data."""
     return (

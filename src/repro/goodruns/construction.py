@@ -26,7 +26,7 @@ from repro.errors import AssumptionError
 from repro.goodruns.assumptions import InitialAssumptions
 from repro.obs import spans
 from repro.model.system import System
-from repro.semantics.evaluator import Evaluator
+from repro.semantics.compiler import compiled_for
 from repro.semantics.goodvectors import GoodRunVector
 from repro.terms.atoms import Principal
 from repro.terms.formulas import Believes
@@ -67,7 +67,8 @@ def construct_good_runs(
 
     for depth in range(1, assumptions.max_depth + 1):
         previous_vector = stages[-1]
-        evaluator = Evaluator(system, previous_vector, pattern_hide=pattern_hide)
+        evaluator = compiled_for(system, previous_vector,
+                                 pattern_hide=pattern_hide)
         updated: dict[Principal, frozenset[str]] = {}
         with spans.span("goodruns.stage", depth=depth) as attrs:
             for principal in system.principals():
@@ -106,7 +107,7 @@ def unsupported_assumptions(
     pattern_hide: bool = False,
 ) -> list[tuple[Principal, object, str]]:
     """The (principal, formula, run name) triples where support fails."""
-    evaluator = Evaluator(system, vector, pattern_hide=pattern_hide)
+    evaluator = compiled_for(system, vector, pattern_hide=pattern_hide)
     failures = []
     for principal, formula in assumptions.all_formulas():
         for run in system.runs:

@@ -23,7 +23,7 @@ from typing import Iterable, Mapping
 from repro.errors import ModelError, WellFormednessError
 from repro.model.actions import Action, Internal, NewKey, Receive, Send
 from repro.model.runs import ENVIRONMENT, Run
-from repro.model.states import EnvState, GlobalState, LocalState
+from repro.model.states import GlobalState
 from repro.model.submsgs import said_submsgs, seen_submsgs_all
 from repro.terms.atoms import Atom, Key, Parameter, Principal
 from repro.terms.base import Message
@@ -97,8 +97,7 @@ class RunBuilder:
         env = state.env.record(principal, action)
         if principal == self._environment:
             if isinstance(action, NewKey):
-                env = EnvState(env.history, env.keys | {action.key}, env.buffers,
-                               env.data)
+                env = env.with_key(action.key)
             next_state = state.with_env(env)
         else:
             local = state.local(principal).after(action)

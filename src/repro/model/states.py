@@ -75,11 +75,39 @@ class LocalState:
 
     def after(self, action: Action) -> "LocalState":
         """The state after performing ``action`` (appends to history,
-        and grows the key set for ``newkey``)."""
+        and grows the key set for ``newkey``).
+
+        Only the appended action is validated: this state was already
+        checked on construction, so re-walking the whole history (as
+        ``__post_init__`` would) is redundant — and turns run building
+        quadratic.
+        """
+        if not isinstance(action, Action):
+            raise ModelError("LocalState.history must contain only Actions")
         keys = self.keys
         if isinstance(action, NewKey):
+            if not isinstance(action.key, Key):
+                raise ModelError("LocalState.keys must contain only Keys")
             keys = keys | {action.key}
-        return LocalState(self.history + (action,), keys, self.data)
+        clone = object.__new__(LocalState)
+        object.__setattr__(clone, "history", self.history + (action,))
+        object.__setattr__(clone, "keys", keys)
+        object.__setattr__(clone, "data", self.data)
+        # Carry the derived message sets forward incrementally when the
+        # parent already computed them: recomputing from scratch would
+        # re-walk the whole history on every builder query.
+        cache = self.__dict__
+        received = cache.get("received_messages")
+        if received is not None:
+            if isinstance(action, Receive):
+                received = received | {action.message}
+            clone.__dict__["received_messages"] = received
+        sent = cache.get("sent_messages")
+        if sent is not None:
+            if isinstance(action, Send):
+                sent = sent | {action.message}
+            clone.__dict__["sent_messages"] = sent
+        return clone
 
     def with_data(self, name: str, value: object) -> "LocalState":
         """A copy with one application datum set (replacing any old value)."""
@@ -134,13 +162,42 @@ class EnvState:
         self, buffers: Mapping[Principal, tuple[Message, ...]]
     ) -> "EnvState":
         packed = tuple(sorted(buffers.items(), key=lambda kv: kv[0].name))
-        return EnvState(self.history, self.keys, packed, self.data)
+        return self._evolved(self.history, self.keys, packed)
+
+    def with_key(self, key: Key) -> "EnvState":
+        """A copy with one key added to the environment's key set."""
+        if not isinstance(key, Key):
+            raise ModelError("EnvState.keys must contain only Keys")
+        return self._evolved(self.history, self.keys | {key}, self.buffers)
 
     def record(self, principal: Principal, action: Action) -> "EnvState":
-        """Append a tagged action to the global history."""
-        return EnvState(
-            self.history + ((principal, action),), self.keys, self.buffers, self.data
+        """Append a tagged action to the global history.
+
+        Only the appended entry is validated; the existing history was
+        checked when this state was built (see ``LocalState.after``).
+        """
+        if not isinstance(principal, Principal) or not isinstance(action, Action):
+            raise ModelError("EnvState.history entries must be (Principal, Action)")
+        return self._evolved(
+            self.history + ((principal, action),), self.keys, self.buffers
         )
+
+    def _evolved(self, history, keys, buffers) -> "EnvState":
+        # Trusted fast path for the transition helpers above: the parts
+        # they carry over are valid by induction, and the parts they
+        # change are validated (or sorted) before we get here.
+        clone = object.__new__(EnvState)
+        object.__setattr__(clone, "history", history)
+        object.__setattr__(clone, "keys", keys)
+        object.__setattr__(clone, "buffers", buffers)
+        object.__setattr__(clone, "data", self.data)
+        if buffers is self.buffers:
+            # Same buffers tuple, same derived view (consumers copy
+            # before mutating).
+            view = self.__dict__.get("buffer_map")
+            if view is not None:
+                clone.__dict__["buffer_map"] = view
+        return clone
 
 
 @dataclass(frozen=True)
@@ -165,7 +222,7 @@ class GlobalState:
     def local_map(self) -> Mapping[Principal, LocalState]:
         return dict(self.locals_)
 
-    @property
+    @cached_property
     def principals(self) -> tuple[Principal, ...]:
         """The system principals (the environment is not included)."""
         return tuple(principal for principal, _ in self.locals_)
@@ -177,15 +234,42 @@ class GlobalState:
             raise ModelError(f"{principal} is not a system principal here") from None
 
     def with_local(self, principal: Principal, state: LocalState) -> "GlobalState":
-        updated = dict(self.locals_)
-        if principal not in updated:
-            raise ModelError(f"{principal} is not a system principal here")
-        updated[principal] = state
-        packed = tuple(sorted(updated.items(), key=lambda kv: kv[0].name))
-        return GlobalState(self.env, packed)
+        # In-place replacement keeps the tuple sorted and duplicate-free
+        # by construction, so the __post_init__ re-check can be skipped.
+        for index, (existing, _) in enumerate(self.locals_):
+            if existing == principal:
+                packed = (
+                    self.locals_[:index]
+                    + ((principal, state),)
+                    + self.locals_[index + 1:]
+                )
+                clone = self._evolved(self.env, packed)
+                base = self.__dict__.get("local_map")
+                if base is not None:
+                    updated = dict(base)
+                    updated[principal] = state
+                    clone.__dict__["local_map"] = updated
+                names = self.__dict__.get("principals")
+                if names is not None:
+                    clone.__dict__["principals"] = names
+                return clone
+        raise ModelError(f"{principal} is not a system principal here")
 
     def with_env(self, env: EnvState) -> "GlobalState":
-        return GlobalState(env, self.locals_)
+        clone = self._evolved(env, self.locals_)
+        # locals_ is shared verbatim, so its derived views are too (all
+        # consumers copy before mutating).
+        for name in ("local_map", "principals"):
+            value = self.__dict__.get(name)
+            if value is not None:
+                clone.__dict__[name] = value
+        return clone
+
+    def _evolved(self, env: EnvState, locals_) -> "GlobalState":
+        clone = object.__new__(GlobalState)
+        object.__setattr__(clone, "env", env)
+        object.__setattr__(clone, "locals_", locals_)
+        return clone
 
     @classmethod
     def initial(

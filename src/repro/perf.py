@@ -122,7 +122,12 @@ def register_cache(
 
 
 def clear_caches() -> None:
-    """Empty every registered cache (intern tables, memo dicts)."""
+    """Empty every registered cache (intern tables, memo dicts).
+
+    At-clear sizes are folded into the context's cache high-water marks
+    first, so a clear never erases the evidence of what the caches held.
+    """
+    observe_cache_peaks()
     for clearer in _cache_clearers.values():
         clearer()
 
@@ -132,11 +137,43 @@ def cache_sizes() -> dict[str, int]:
     return {name: sizer() for name, sizer in _cache_sizers.items()}
 
 
+def observe_cache_peaks() -> dict[str, int]:
+    """Max the current cache sizes into the context's high-water marks.
+
+    Several cache layers (notably ``eval_memo``) are registered through
+    *weak* references: when their owner dies, the sizer honestly reports
+    0, so an end-of-workload ``cache_sizes()`` under-reports the real
+    footprint.  Workloads call this at their peaks (the sweep does, per
+    system); :func:`snapshot` reports the marks alongside the live
+    sizes.
+    """
+    peaks = _context.current().cache_peaks
+    for name, size in cache_sizes().items():
+        if size > peaks.get(name, 0):
+            peaks[name] = size
+    return dict(peaks)
+
+
+def merge_cache_peaks(extra: Mapping[str, int]) -> None:
+    """Max another context's cache high-water marks into this one's.
+
+    The parallel sweep ships each worker shard's peaks home: the shard's
+    evaluators die with the shard, so only the recorded marks survive.
+    """
+    peaks = _context.current().cache_peaks
+    for name, size in extra.items():
+        if size > peaks.get(name, 0):
+            peaks[name] = size
+
+
 def snapshot() -> dict[str, Any]:
-    """Counters plus cache sizes, as one plain-dict snapshot."""
+    """Counters, cache sizes, peaks, and hit rates, as one plain dict."""
+    observe_cache_peaks()
     return {
         "counters": dict(_context.current().counters),
         "cache_sizes": cache_sizes(),
+        "cache_peaks": dict(_context.current().cache_peaks),
+        "hit_rates": hit_rates(),
     }
 
 

@@ -24,6 +24,7 @@ from repro.logic.engine import Derivation
 from repro.model.runs import Run
 from repro.model.system import System
 from repro.protocols.base import IdealizedProtocol
+from repro.semantics.compiler import CompiledSystem, compiled_for
 from repro.semantics.evaluator import Evaluator
 from repro.terms.atoms import Principal
 from repro.terms.formulas import Believes, Formula
@@ -80,7 +81,10 @@ def assumptions_vector(protocol: IdealizedProtocol) -> InitialAssumptions:
 
 
 def replay_derivation(
-    derivation: Derivation, evaluator: Evaluator, run: Run, k: int
+    derivation: Derivation,
+    evaluator: Evaluator | CompiledSystem,
+    run: Run,
+    k: int,
 ) -> tuple[AuditEntry, ...]:
     """Replay every *derived* fact of a derivation at one point.
 
@@ -118,8 +122,8 @@ def audit_protocol(
     assumptions = assumptions_vector(protocol).restrict_to(system)
     construction = construct_good_runs(system, assumptions,
                                        pattern_hide=pattern_hide)
-    evaluator = Evaluator(system, construction.vector,
-                          pattern_hide=pattern_hide)
+    evaluator = compiled_for(system, construction.vector,
+                             pattern_hide=pattern_hide)
     run = system.run(run_name)
     time = run.end_time
     entries = []

@@ -57,6 +57,13 @@ def make_vocabulary(config: GeneratorConfig) -> Vocabulary:
     return vocabulary
 
 
+#: Step/message shape alternatives (hoisted so ``rng.choice`` draws from
+#: shared tuples instead of per-call lists; the draws themselves are
+#: unchanged).
+_STEP_KINDS = ("send", "receive", "newkey", "idle")
+_MESSAGE_KINDS = ("group", "encrypt", "combine", "forward", "atom")
+
+
 class RandomRunGenerator:
     """Generates one well-formed run per call."""
 
@@ -75,6 +82,13 @@ class RandomRunGenerator:
         # dealt to their owners at run start.
         self.keys = [k for k in all_keys if not isinstance(k, PublicKey)]
         self.nonces = list(vocabulary.constants(_sort_nonce()))
+        self.senders = self.principals + [ENVIRONMENT]
+        # Memoized views keyed by the builder's (immutable) frozensets:
+        # sorting and SharedKey interning dominate message synthesis, and
+        # the underlying sets barely change step to step.
+        self._shared_keys: dict[tuple, SharedKey] = {}
+        self._sorted_keysets: dict[frozenset, tuple[list, list]] = {}
+        self._sorted_received: dict[frozenset, list] = {}
 
     def generate(self, name: str) -> Run:
         rng = self.rng
@@ -104,15 +118,14 @@ class RandomRunGenerator:
 
     def _random_step(self, builder: RunBuilder) -> None:
         rng = self.rng
-        actors = list(self.principals)
+        actors = self.principals
         if rng.random() < self.config.env_activity:
             actors = [builder.environment]
         actor = rng.choice(actors)
-        choices = ["send", "receive", "newkey", "idle"]
-        action = rng.choice(choices)
+        action = rng.choice(_STEP_KINDS)
         try:
             if action == "send":
-                recipient = rng.choice(self.principals + [builder.environment])
+                recipient = rng.choice(self.senders)
                 message = self._random_message(builder, actor)
                 builder.send(actor, message, recipient)
             elif action == "receive":
@@ -133,22 +146,45 @@ class RandomRunGenerator:
         depth = rng.randint(1, 3)
         return self._build_message(builder, sender, depth)
 
+    def _shared_key_atom(self, left: Principal, key: Key,
+                         right: Principal) -> SharedKey:
+        triple = (left, key, right)
+        shared = self._shared_keys.get(triple)
+        if shared is None:
+            shared = self._shared_keys[triple] = SharedKey(left, key, right)
+        return shared
+
+    def _keyset_views(self, builder: RunBuilder,
+                      sender: Principal) -> tuple[list, list]:
+        held_set = builder.keyset(sender)
+        views = self._sorted_keysets.get(held_set)
+        if views is None:
+            held = sorted(held_set, key=str)
+            # bias towards signing when a private key is held
+            private = [k for k in held if isinstance(k, PrivateKey)]
+            views = self._sorted_keysets[held_set] = (held, private)
+        return views
+
     def _build_message(
         self, builder: RunBuilder, sender: Principal, depth: int
     ) -> Message:
         rng = self.rng
         atoms: list[Message] = list(self.nonces)
-        atoms.extend(
-            SharedKey(rng.choice(self.principals), key,
-                      rng.choice(self.principals))
-            for key in rng.sample(self.keys, min(1, len(self.keys)))
-        )
-        received = list(builder.received(sender))
+        if self.keys:
+            # Draw-for-draw identical to the historical
+            # ``rng.sample(keys, 1)`` (both are one _randbelow(n) pick),
+            # without sample()'s population copy.
+            key = rng.choice(self.keys)
+            atoms.append(
+                self._shared_key_atom(rng.choice(self.principals), key,
+                                      rng.choice(self.principals))
+            )
         if depth <= 1 or rng.random() < 0.4:
+            received = builder.received(sender)
             if received and rng.random() < 0.3:
-                return rng.choice(received)
+                return rng.choice(list(received))
             return rng.choice(atoms)
-        kind = rng.choice(["group", "encrypt", "combine", "forward", "atom"])
+        kind = rng.choice(_MESSAGE_KINDS)
         if kind == "group":
             count = rng.randint(2, 3)
             parts = tuple(
@@ -157,16 +193,14 @@ class RandomRunGenerator:
             )
             return group(*parts)
         if kind == "encrypt":
-            held = sorted(builder.keyset(sender), key=str)
-            # bias towards signing when a private key is held
-            private = [k for k in held if str(k).startswith("inv(")]
+            held, private = self._keyset_views(builder, sender)
             if private and rng.random() < 0.4:
                 key = rng.choice(private)
                 body = self._build_message(builder, sender, depth - 1)
                 from_field = (
                     sender
                     if sender != builder.environment
-                    else rng.choice(self.principals + [builder.environment])
+                    else rng.choice(self.senders)
                 )
                 return encrypted(body, key, from_field)
             if not held:
@@ -176,7 +210,7 @@ class RandomRunGenerator:
             from_field = (
                 sender
                 if sender != builder.environment
-                else rng.choice(self.principals + [builder.environment])
+                else rng.choice(self.senders)
             )
             return encrypted(body, key, from_field)
         if kind == "combine":
@@ -185,11 +219,16 @@ class RandomRunGenerator:
             from_field = (
                 sender
                 if sender != builder.environment
-                else rng.choice(self.principals + [builder.environment])
+                else rng.choice(self.senders)
             )
             return combined(body, secret, from_field)
         if kind == "forward":
-            seen = sorted(builder.received(sender), key=str)
+            received = builder.received(sender)
+            seen = self._sorted_received.get(received)
+            if seen is None:
+                seen = self._sorted_received[received] = sorted(
+                    received, key=str
+                )
             if seen:
                 return forwarded(rng.choice(seen))
             if sender == builder.environment:

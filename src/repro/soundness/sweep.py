@@ -27,6 +27,7 @@ from repro.obs import spans
 from repro.logic.rules import transparent
 from repro.model.actions import Send
 from repro.model.system import System
+from repro.semantics.compiler import CompiledSystem, compiled_for
 from repro.semantics.evaluator import Evaluator
 from repro.semantics.goodvectors import GoodRunVector
 from repro.terms.atoms import Key, Nonce, Principal, PrimitiveProposition, Sort
@@ -46,7 +47,7 @@ from repro.terms.formulas import (
     SharedSecret,
 )
 from repro.terms.messages import Encrypted, combined, encrypted, forwarded, group
-from repro.terms.ops import walk
+from repro.terms.ops import is_ground, walk
 
 
 def pool_from_system(
@@ -221,6 +222,30 @@ DEFAULT_MAX_INSTANCES_PER_SCHEMA = 400
 #: Default cap on recorded (not counted) violations per schema.
 DEFAULT_MAX_VIOLATIONS_PER_SCHEMA = 25
 
+#: Which evaluation engine the sweep drives.  ``"compiled"`` routes
+#: ground instances through :func:`repro.semantics.compiler.compiled_for`
+#: (whole-system bitsets, one subset test per instance); any instance
+#: the compiler declines falls back to the interpreter per point, so
+#: verdicts, point counts, and violation records are identical to
+#: ``"interpreted"`` — the ``compiled_vs_interpreted`` fuzz oracle holds
+#: the two byte-identical.
+DEFAULT_ENGINE = "compiled"
+
+_ENGINES = ("compiled", "interpreted")
+
+
+def _resolve_engine(
+    system: System,
+    goodruns: GoodRunVector | None,
+    pattern_hide: bool,
+    engine: str,
+):
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown sweep engine {engine!r} (use one of {_ENGINES})")
+    if engine == "compiled":
+        return compiled_for(system, goodruns, pattern_hide=pattern_hide)
+    return Evaluator(system, goodruns, pattern_hide=pattern_hide)
+
 
 def sweep_system(
     system: System,
@@ -230,6 +255,7 @@ def sweep_system(
     pattern_hide: bool = False,
     max_violations_per_schema: int = DEFAULT_MAX_VIOLATIONS_PER_SCHEMA,
     workers: int = 1,
+    engine: str = DEFAULT_ENGINE,
 ) -> SweepReport:
     """Model-check every schema instance at every point of one system.
 
@@ -243,13 +269,13 @@ def sweep_system(
     if workers > 1:
         report = _sweep_parallel(
             (system,), resolved, goodruns, max_instances_per_schema,
-            pattern_hide, max_violations_per_schema, workers,
+            pattern_hide, max_violations_per_schema, workers, engine,
         )
         if report is not None:
             return report
     return _sweep_in_process(
         system, resolved, goodruns, max_instances_per_schema,
-        pattern_hide, max_violations_per_schema,
+        pattern_hide, max_violations_per_schema, engine,
     )
 
 
@@ -260,8 +286,10 @@ def _sweep_in_process(
     max_instances_per_schema: int,
     pattern_hide: bool,
     max_violations_per_schema: int,
+    engine: str = DEFAULT_ENGINE,
 ) -> SweepReport:
-    evaluator = Evaluator(system, goodruns, pattern_hide=pattern_hide)
+    evaluator = _resolve_engine(system, goodruns, pattern_hide, engine)
+    compiled = evaluator if isinstance(evaluator, CompiledSystem) else None
     pool = pool_from_system(system)
     report = SweepReport()
     points = tuple(system.points())
@@ -270,9 +298,35 @@ def _sweep_in_process(
         instances = itertools.islice(
             schema.instances(pool), max_instances_per_schema
         )
-        with spans.span("sweep.schema", schema=schema.name) as attrs:
+        with spans.span("sweep.schema", schema=schema.name,
+                        engine=engine) as attrs:
             for instance in instances:
                 schema_report.instances += 1
+                bits = None
+                if compiled is not None and is_ground(instance):
+                    bits = compiled.truth_bits(instance)
+                if bits is not None:
+                    # Whole-system verdict in one subset test; violation
+                    # records (capped, in point order) match the
+                    # point-by-point loop exactly.
+                    schema_report.points_checked += len(points)
+                    if bits != compiled.full_mask:
+                        room = (
+                            max_violations_per_schema
+                            - len(schema_report.violations)
+                        )
+                        if room > 0:
+                            for i, (run, k) in enumerate(points):
+                                if (bits >> i) & 1:
+                                    continue
+                                schema_report.violations.append(
+                                    _record(schema.name, instance, run.name,
+                                            k, evaluator, run, k)
+                                )
+                                room -= 1
+                                if room == 0:
+                                    break
+                    continue
                 for run, k in points:
                     schema_report.points_checked += 1
                     if evaluator.evaluate(instance, run, k):
@@ -284,6 +338,7 @@ def _sweep_in_process(
                         )
             attrs["instances"] = schema_report.instances
             attrs["points"] = schema_report.points_checked
+    perf.observe_cache_peaks()
     return report
 
 
@@ -321,6 +376,7 @@ def sweep_systems(
     pattern_hide: bool = False,
     max_violations_per_schema: int = DEFAULT_MAX_VIOLATIONS_PER_SCHEMA,
     workers: int = 1,
+    engine: str = DEFAULT_ENGINE,
 ) -> SweepReport:
     """Merge sweeps over several systems (the E3 experiment driver).
 
@@ -335,7 +391,7 @@ def sweep_systems(
     if workers > 1:
         report = _sweep_parallel(
             systems, resolved, goodruns, max_instances_per_schema,
-            pattern_hide, max_violations_per_schema, workers,
+            pattern_hide, max_violations_per_schema, workers, engine,
         )
         if report is not None:
             return report
@@ -344,7 +400,7 @@ def sweep_systems(
         total.merge(
             _sweep_in_process(
                 system, resolved, goodruns, max_instances_per_schema,
-                pattern_hide, max_violations_per_schema,
+                pattern_hide, max_violations_per_schema, engine,
             )
         )
     return total
@@ -393,7 +449,8 @@ def _sweep_shard(
     max_instances_per_schema: int,
     pattern_hide: bool,
     max_violations_per_schema: int,
-) -> tuple[SweepReport, dict[str, int], list[dict]]:
+    engine: str = DEFAULT_ENGINE,
+) -> tuple[SweepReport, dict[str, int], list[dict], dict[str, int]]:
     """Worker entry point: one system, one contiguous slice of schemas.
 
     The shard runs under an **ephemeral engine context**: its caches,
@@ -403,20 +460,23 @@ def _sweep_shard(
     delta to ship home — no mark/``delta_since`` bookkeeping against a
     shared global table.
 
-    Returns the shard report, the perf-counter delta, *and* the span
-    delta the shard produced, so the parent can merge worker cache
-    statistics and wall-clock spans into its own context
-    (``BENCH_sweep.json`` would otherwise under-report hits/misses and
-    lose per-schema timings for parallel runs).
+    Returns the shard report, the perf-counter delta, the span delta,
+    and the shard's cache high-water marks, so the parent can merge
+    worker cache statistics, wall-clock spans, and peak memo footprints
+    into its own context (``BENCH_sweep.json`` would otherwise
+    under-report hits/misses, lose per-schema timings, and show
+    ``eval_memo: 0`` for parallel runs whose evaluators die with their
+    shard).
     """
     shard_ctx = context.fresh(f"sweep-shard:{schema_names[0]}")
     with context.use(shard_ctx):
         schemas = tuple(AXIOMS[name] for name in schema_names)
         report = _sweep_in_process(
             system, schemas, goodruns, max_instances_per_schema,
-            pattern_hide, max_violations_per_schema,
+            pattern_hide, max_violations_per_schema, engine,
         )
-    return report, shard_ctx.counter_delta(), shard_ctx.span_delta()
+    return (report, shard_ctx.counter_delta(), shard_ctx.span_delta(),
+            dict(shard_ctx.cache_peaks))
 
 
 def _sweep_parallel(
@@ -427,6 +487,7 @@ def _sweep_parallel(
     pattern_hide: bool,
     max_violations_per_schema: int,
     workers: int,
+    engine: str = DEFAULT_ENGINE,
 ) -> SweepReport | None:
     """Shard (system × schema slice) over a process pool.
 
@@ -458,7 +519,7 @@ def _sweep_parallel(
                     pool.submit(
                         _sweep_shard, system, group, goodruns,
                         max_instances_per_schema, pattern_hide,
-                        max_violations_per_schema,
+                        max_violations_per_schema, engine,
                     )
                     for system, group in shards
                 ]
@@ -466,10 +527,11 @@ def _sweep_parallel(
                 # matches the sequential sweep, so totals, violation
                 # lists, and renders are identical to workers=1.
                 for future in futures:
-                    report, counter_delta, span_delta = future.result()
+                    report, counter_delta, span_delta, peaks = future.result()
                     total.merge(report)
                     perf.merge_counters(counter_delta)
                     spans.merge(span_delta)
+                    perf.merge_cache_peaks(peaks)
     except (OSError, PermissionError):
         # No subprocess support on this platform/sandbox.
         return None

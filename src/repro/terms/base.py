@@ -52,13 +52,14 @@ class Message(metaclass=InternMeta):
     # -- interned identity ---------------------------------------------------
 
     def __hash__(self) -> int:
-        # Set once by InternMeta; the getattr fallback covers instances
-        # created behind the constructor's back (e.g. by copy protocols).
-        h = getattr(self, "_hash", None)
-        if h is None:
+        # Set once by InternMeta; the fallback covers instances created
+        # behind the constructor's back (e.g. by copy protocols).
+        try:
+            return self._hash
+        except AttributeError:
             h = hash(intern_key(self))
             object.__setattr__(self, "_hash", h)
-        return h
+            return h
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -67,9 +68,14 @@ class Message(metaclass=InternMeta):
             # Exact-type equality, matching the dataclass-generated
             # semantics this replaces (Key("a") != PublicKey("a")).
             return NotImplemented if not isinstance(other, Message) else False
-        # Same type but different objects: only possible for terms that
-        # bypassed interning (unpickled mid-flight, copied).  Compare
-        # structurally so correctness never depends on interning.
+        # Same type but different objects.  Distinct hashes settle it
+        # without walking fields — the common case, since set/dict
+        # probes compare everything that lands in the same bucket.
+        if self.__hash__() != other.__hash__():
+            return False
+        # Hash collision, or terms that bypassed interning (unpickled
+        # mid-flight, copied).  Compare structurally so correctness
+        # never depends on interning.
         return intern_key(self)[1:] == intern_key(other)[1:]
 
     def __reduce__(self):

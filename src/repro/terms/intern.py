@@ -75,17 +75,33 @@ class InternMeta(type):
     """
 
     def __call__(cls, *args: Any, **kwargs: Any) -> Any:
-        obj = super().__call__(*args, **kwargs)
-        key = (cls, *(getattr(obj, name) for name in _field_names(cls)))
         ctx = _context.current()
-        canonical = ctx.intern_table.get(key)
+        table = ctx.intern_table
         counters = ctx.counters
-        if canonical is not None:
-            counters["intern.hit"] = counters.get("intern.hit", 0) + 1
-            return canonical
+        key = None
+        if not kwargs and len(args) == len(_field_names(cls)):
+            # All fields given positionally: the structural key is just
+            # the argument tuple (no __post_init__ rewrites fields), so
+            # a hit can skip constructing-and-discarding a candidate.
+            key = (cls, *args)
+            try:
+                canonical = table.get(key)
+            except TypeError:  # unhashable argument: take the slow path
+                key = None
+            else:
+                if canonical is not None:
+                    counters["intern.hit"] = counters.get("intern.hit", 0) + 1
+                    return canonical
+        obj = super().__call__(*args, **kwargs)
+        if key is None:
+            key = (cls, *(getattr(obj, name) for name in _field_names(cls)))
+            canonical = table.get(key)
+            if canonical is not None:
+                counters["intern.hit"] = counters.get("intern.hit", 0) + 1
+                return canonical
         counters["intern.miss"] = counters.get("intern.miss", 0) + 1
         object.__setattr__(obj, "_hash", hash(key))
-        ctx.intern_table[key] = obj
+        table[key] = obj
         return obj
 
 

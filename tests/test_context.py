@@ -154,7 +154,7 @@ class TestSweepIsolation:
             results[index] = (ctx, report.render())
 
     def test_two_threads_share_no_counters_spans_or_cache_entries(self):
-        default_misses_before = context.DEFAULT.counters.get("eval_memo.miss", 0)
+        default_misses_before = context.DEFAULT.counters.get("compiled_eval.miss", 0)
         results = {}
         threads = [
             threading.Thread(target=self._sweep, args=(seed, results, i))
@@ -167,8 +167,8 @@ class TestSweepIsolation:
         (ctx_a, render_a), (ctx_b, render_b) = results[0], results[1]
 
         # Both sessions did real work...
-        assert ctx_a.counters["eval_memo.miss"] > 0
-        assert ctx_b.counters["eval_memo.miss"] > 0
+        assert ctx_a.counters["compiled_eval.miss"] > 0
+        assert ctx_b.counters["compiled_eval.miss"] > 0
         # ...but each context's telemetry is exactly its own: counter
         # objects, span buffers, and cache entries are all disjoint.
         assert ctx_a.counters is not ctx_b.counters
@@ -193,7 +193,7 @@ class TestSweepIsolation:
         # (other tests may have swept in DEFAULT; we only assert *our*
         # sessions added nothing).
         assert (
-            context.DEFAULT.counters.get("eval_memo.miss", 0)
+            context.DEFAULT.counters.get("compiled_eval.miss", 0)
             == default_misses_before
         )
 

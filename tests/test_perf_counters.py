@@ -69,15 +69,15 @@ class TestParallelSweepCounters:
 
     @staticmethod
     def _eval_memo_events(counters):
-        # eval_memo is scoped to the per-shard Evaluator instance, so its
-        # counts are identical whichever process runs the shard.  The
-        # node-attached structural memos (ops.*) and the term-keyed
+        # compiled_eval is scoped to the per-shard compiled system, so
+        # its counts are identical whichever process runs the shard.
+        # The node-attached structural memos (ops.*) and the term-keyed
         # layers warm differently depending on whether the system's
         # terms arrived warm (in-process) or freshly unpickled (worker
-        # process), so only eval_memo events are comparable.
+        # process), so only compiled_eval events are comparable.
         return {
             event: n for event, n in counters.items()
-            if event.startswith("eval_memo.")
+            if event.startswith("compiled_eval.")
         }
 
     def test_parallel_sweep_merges_worker_counters(self):
@@ -90,7 +90,7 @@ class TestParallelSweepCounters:
         # the expected totals are the merged deltas.
         perf.reset_counters()
         for shard_system, group in shards:
-            _report, delta, _spans = _sweep_shard(
+            _report, delta, _spans, _peaks = _sweep_shard(
                 shard_system, group, None, 12, False, 25
             )
             perf.merge_counters(delta)
@@ -110,11 +110,11 @@ class TestParallelSweepCounters:
         system = generate_system(GeneratorConfig(seed=11))
         (shard_system, group) = self._shards(system, 1)[0]
         perf.count("preexisting.hit", 99)
-        _report, delta, span_delta = _sweep_shard(
+        _report, delta, span_delta, _peaks = _sweep_shard(
             shard_system, group, None, 5, False, 25
         )
         assert "preexisting.hit" not in delta
-        assert any(event.startswith("eval_memo.") for event in delta)
+        assert any(event.startswith("compiled_eval.") for event in delta)
         # The span delta is likewise shard-local: one sweep.schema span
         # per schema in the slice, nothing from before the mark.
         assert [s["name"] for s in span_delta].count("sweep.schema") == len(group)
@@ -124,4 +124,4 @@ class TestParallelSweepCounters:
         perf.reset_counters()
         sweep_system(system, max_instances_per_schema=8, workers=2)
         snapshot = perf.snapshot()
-        assert snapshot["counters"].get("eval_memo.miss", 0) > 0
+        assert snapshot["counters"].get("compiled_eval.miss", 0) > 0
