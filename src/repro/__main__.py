@@ -21,8 +21,10 @@ caches, counters, and spans are session-private (nothing read from or
 left behind in the process-default context).
 
 ``perf [--systems N] [--instances M] [--seed S] [--workers W] [--output PATH]``
-    Time the E3 sweep, print the cache hit/miss table, and write a
-    machine-readable benchmark record (default ``BENCH_sweep.json``).
+    Time the E3 sweep and the good-runs construction (naive vs
+    worklist engine, with per-stage span totals), print the cache
+    hit/miss table, and write a machine-readable benchmark record
+    (default ``BENCH_sweep.json``).
 
 ``trace [--systems N] [--seed S] [--schema NAME] [--instances M]
 [--formula TEXT] [--output PATH] [--only-failures]``
@@ -37,7 +39,9 @@ left behind in the process-default context).
     well-formed systems, WF fault injection with classification
     oracles, evaluator cache/hide/ground-path differentials,
     engine-vs-semantics derivation replay, adversarial proof mutation,
-    per-workload interpretation fuzzing, and a periodic
+    per-workload interpretation fuzzing, good-runs construction
+    invariants (Theorem 2/3 support, monotonicity, idempotence, engine
+    agreement, brute-force optimality), and a periodic
     parallel-vs-sequential sweep comparison.  ``--oracles`` selects a
     comma-separated subset of the families (default: all).  Writes a
     JSON report (default ``FUZZ_report.json``) with shrunk
@@ -166,6 +170,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if not report.essential_violations else 1
 
 
+#: Belief-chain depth of the perf CLI's good-runs benchmark workload.
+_GOODRUNS_BENCH_DEPTH = 4
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro import perf
     from repro.obs import run_metadata, spans
@@ -217,6 +225,51 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             f"[{engine}] sweep (cold) {cold.seconds:.3f}s | "
             f"sweep (warm) {warm.seconds:.3f}s"
         )
+    # Good-runs fixpoint benchmark: the same multi-depth workload
+    # through both construction engines, each in a fresh context (cold
+    # compilation caches), with the per-stage ``goodruns.stage`` span
+    # totals recorded so the worklist win is measured, not asserted.
+    from repro import context
+    from repro.fuzz.goodruns_oracles import deep_assumptions
+    from repro.goodruns import construct_good_runs
+
+    workloads = [
+        (system, deep_assumptions(system, _GOODRUNS_BENCH_DEPTH))
+        for system in systems
+    ]
+    goodruns_stage_spans: dict = {}
+    for engine in ("naive", "worklist"):
+        mark = spans.mark()
+        engine_ctx = context.fresh(f"perf-goodruns-{engine}")
+        with context.use(engine_ctx):
+            with perf.Stopwatch() as watch:
+                for system, assumptions in workloads:
+                    construct_good_runs(system, assumptions, engine=engine)
+        context.current().absorb(
+            engine_ctx.counter_delta(), engine_ctx.span_delta()
+        )
+        stage_samples = [
+            sample
+            for sample in spans.delta_since(mark)
+            if sample["name"] == "goodruns.stage"
+        ]
+        stage_total = sum(sample["seconds"] for sample in stage_samples)
+        goodruns_stage_spans[engine] = {
+            "stages": len(stage_samples),
+            "stage_total_s": round(stage_total, 6),
+        }
+        measurements[f"goodruns_{engine}_s"] = round(watch.seconds, 6)
+        print(
+            f"[goodruns/{engine}] construct {watch.seconds:.3f}s | "
+            f"{len(stage_samples)} stage spans {stage_total:.3f}s"
+        )
+    naive_total = goodruns_stage_spans["naive"]["stage_total_s"]
+    worklist_total = goodruns_stage_spans["worklist"]["stage_total_s"]
+    goodruns_stage_spans["stage_delta_s"] = round(
+        naive_total - worklist_total, 6
+    )
+    measurements["goodruns_stage_spans"] = goodruns_stage_spans
+
     measurements.update(
         total_instances=report.total_instances,
         total_violations=report.total_violations,

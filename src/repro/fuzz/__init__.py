@@ -19,6 +19,9 @@ protocol systems:
 * :mod:`repro.fuzz.logic_oracles` — the derivation-layer oracles:
   engine-vs-semantics replay, proof-mutation checking, and Prim
   interpretation agreement;
+* :mod:`repro.fuzz.goodruns_oracles` — the Theorem 2/3 construction
+  oracles: support, stage monotonicity, fixpoint idempotence, engine
+  agreement, and brute-force optimality on small systems;
 * :mod:`repro.fuzz.shrink` — greedy counterexample minimization for
   runs, assumption sets, and proofs;
 * :mod:`repro.fuzz.harness` — the campaign driver and JSON report
@@ -30,6 +33,12 @@ from repro.fuzz.generate import (
     FuzzConfig,
     generate_base_system,
     randomize_interpretation,
+)
+from repro.fuzz.goodruns_oracles import (
+    check_goodruns_construction,
+    deep_assumptions,
+    describe_assumptions,
+    sample_assumption_vector,
 )
 from repro.fuzz.harness import Counterexample, FuzzReport, run_fuzz
 from repro.fuzz.logic_oracles import (
@@ -59,6 +68,7 @@ from repro.fuzz.proof_mutators import (
 from repro.fuzz.shrink import (
     describe_proof,
     describe_run,
+    shrink_assumption_vector,
     shrink_assumptions,
     shrink_proof,
     shrink_run,
@@ -69,6 +79,10 @@ __all__ = [
     "FuzzConfig",
     "generate_base_system",
     "randomize_interpretation",
+    "check_goodruns_construction",
+    "deep_assumptions",
+    "describe_assumptions",
+    "sample_assumption_vector",
     "Counterexample",
     "FuzzReport",
     "run_fuzz",
@@ -94,6 +108,7 @@ __all__ = [
     "apply_random_proof_mutator",
     "describe_proof",
     "describe_run",
+    "shrink_assumption_vector",
     "shrink_assumptions",
     "shrink_proof",
     "shrink_run",

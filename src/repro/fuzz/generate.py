@@ -28,7 +28,8 @@ from repro.terms.atoms import Sort
 #: injection/classification, the evaluator differentials, the
 #: compiled-vs-interpreted engine differential, the periodic
 #: parallel-sweep comparison, engine-vs-semantics derivation replay,
-#: adversarial proof mutation, and interpretation fuzzing.
+#: adversarial proof mutation, interpretation fuzzing, and the
+#: good-runs construction invariants (Theorem 2/3 pipeline).
 ORACLE_FAMILIES: tuple[str, ...] = (
     "wf",
     "differential",
@@ -37,6 +38,7 @@ ORACLE_FAMILIES: tuple[str, ...] = (
     "engine_replay",
     "proof_mutation",
     "interpretation",
+    "goodruns_construction",
 )
 
 
@@ -65,6 +67,11 @@ class FuzzConfig:
     replay_max_facts: int = 4000
     #: Proof mutations injected per iteration that certifies a proof.
     proof_mutations_per_iteration: int = 2
+    #: Assumption formulas sampled per good-runs construction workload.
+    goodruns_assumptions: int = 4
+    #: Candidate-vector cap for the brute-force optimality cross-check
+    #: (systems whose search space exceeds it skip that sub-oracle).
+    goodruns_optimality_cap: int = 4096
 
 
 def iteration_rng(config: FuzzConfig, iteration: int) -> random.Random:

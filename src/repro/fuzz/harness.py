@@ -43,6 +43,11 @@ from repro.fuzz.generate import (
     generate_base_system,
     randomize_interpretation,
 )
+from repro.fuzz.goodruns_oracles import (
+    check_goodruns_construction,
+    describe_assumptions,
+    sample_assumption_vector,
+)
 from repro.fuzz.logic_oracles import (
     check_engine_replay,
     check_interpretation_agreement,
@@ -71,6 +76,7 @@ from repro.fuzz.proof_mutators import (
 from repro.fuzz.shrink import (
     describe_proof,
     describe_run,
+    shrink_assumption_vector,
     shrink_assumptions,
     shrink_proof,
     shrink_run,
@@ -330,6 +336,68 @@ def _shrunk_proof_counterexample(
     )
 
 
+def _goodruns_trace(
+    system: System, assumptions, failure: OracleFailure
+) -> list[str]:
+    """A why-false proof tree for a support failure, relative to the
+    vector constructed from the (shrunk) assumptions."""
+    if (
+        failure.formula is None
+        or failure.run_name is None
+        or failure.time is None
+    ):
+        return []
+    try:
+        from repro.goodruns.construction import construct_good_runs
+        from repro.terms.parser import parse_formula
+
+        vector = construct_good_runs(system, assumptions).vector
+        formula = parse_formula(failure.formula, system.vocabulary)
+        run = system.run(failure.run_name)
+        _verdict, root = trace_evaluation(
+            system, formula, run, failure.time, goodruns=vector
+        )
+        return render_why(root).splitlines()
+    except Exception:  # pragma: no cover - diagnostics must not throw
+        return []
+
+
+def _shrunk_goodruns_counterexample(
+    iteration: int,
+    failure: OracleFailure,
+    system: System,
+    assumptions,
+    optimality_cap: int,
+) -> Counterexample:
+    """Minimize the assumption vector while the same oracle kind keeps
+    failing, and attach a why-false trace relative to its fixpoint."""
+    kind = failure.oracle
+
+    def still_fails(candidate) -> bool:
+        return any(
+            candidate_failure.oracle == kind
+            for candidate_failure in check_goodruns_construction(
+                system, candidate, optimality_cap=optimality_cap
+            )
+        )
+
+    minimal = shrink_assumption_vector(assumptions, still_fails)
+    shrunk = [
+        candidate_failure
+        for candidate_failure in check_goodruns_construction(
+            system, minimal, optimality_cap=optimality_cap
+        )
+        if candidate_failure.oracle == kind
+    ]
+    witness = shrunk[0] if shrunk else failure
+    return Counterexample(
+        iteration=iteration,
+        failure=witness,
+        script=describe_assumptions(minimal),
+        trace=_goodruns_trace(system, minimal, witness),
+    )
+
+
 def _certified_proof(
     rng: random.Random, derivation: Derivation
 ) -> Proof | None:
@@ -517,6 +585,40 @@ def _fuzz_iteration(
                     failure=failure,
                     script=describe_run(run) if run is not None else [],
                     trace=_failure_trace(system, failure),
+                )
+            )
+
+    # Good-runs construction invariants: a random I1 assumption vector
+    # through the Theorem 2/3 pipeline.  The whole check — the
+    # construction, both engines, and the brute-force optimality
+    # search — runs in its own ephemeral context (the enumeration warms
+    # per-vector caches no later oracle wants), with counters and
+    # spans (the per-stage ``goodruns.stage`` telemetry) absorbed back
+    # into the iteration's context for the campaign report.
+    if "goodruns_construction" in enabled:
+        goodruns_ctx = context.fresh(f"fuzz-goodruns-{iteration}")
+        with context.use(goodruns_ctx):
+            with spans.span("fuzz.goodruns"):
+                goodruns_assumptions = sample_assumption_vector(
+                    rng, system, config.goodruns_assumptions
+                )
+                goodruns_failures = []
+                if goodruns_assumptions is not None:
+                    goodruns_failures = check_goodruns_construction(
+                        system,
+                        goodruns_assumptions,
+                        optimality_cap=config.goodruns_optimality_cap,
+                    )
+        context.current().absorb(
+            goodruns_ctx.counter_delta(), goodruns_ctx.span_delta()
+        )
+        if goodruns_assumptions is not None:
+            report.count_check("goodruns_construction")
+        for failure in goodruns_failures:
+            report.counterexamples.append(
+                _shrunk_goodruns_counterexample(
+                    iteration, failure, system, goodruns_assumptions,
+                    config.goodruns_optimality_cap,
                 )
             )
 

@@ -34,7 +34,13 @@ from repro.terms.atoms import Key, Parameter, Sort
 from repro.terms.base import Message
 from repro.terms.formulas import Believes, Formula
 from repro.terms.intern import _field_names, intern_key
-from repro.terms.ops import constants_of_sort, is_ground, transform, walk
+from repro.terms.ops import (
+    constants_of_sort,
+    has_belief_under_negation,
+    is_ground,
+    transform,
+    walk,
+)
 
 from repro.fuzz.mutators import Mutation
 
@@ -132,6 +138,16 @@ def sample_formulas(
         for formula in list(formulas)[:2]:
             if not _mentions_belief(formula):
                 formulas.append(Believes(rng.choice(principals), formula))
+        # One nested belief per sample: P believes Q believes φ keeps the
+        # deep-hide machinery (and the widened monotonicity oracle) on
+        # the hook, not just the single-level collapse.
+        bodies = [f for f in formulas if not _mentions_belief(f)]
+        if bodies:
+            body = rng.choice(bodies)
+            outer, inner = (
+                rng.choice(principals), rng.choice(principals)
+            )
+            formulas.append(Believes(outer, Believes(inner, body)))
     rng.shuffle(formulas)
     return tuple(formulas[:count])
 
@@ -248,17 +264,23 @@ def check_hide_differential(
     points: Sequence[tuple[Run, int]],
 ) -> list[OracleFailure]:
     """``pattern_hide`` must not move belief-free truth, and may only
-    strengthen top-level belief (a refinement of indistinguishability)."""
+    strengthen belief-positive formulas (refinement of
+    indistinguishability).
+
+    The monotone class is every formula whose beliefs sit in positive
+    positions only (the I1 test, ``has_belief_under_negation``), nested
+    beliefs included: pattern hiding shrinks each possibility set, which
+    can only turn beliefs true, and by induction a positive context
+    propagates that direction outward.  Formulas with beliefs under
+    negation can legitimately move either way and are skipped.
+    """
     failures = []
     collapse = Evaluator(system, pattern_hide=False)
     pattern = Evaluator(system, pattern_hide=True)
     for formula in formulas:
-        top_level_belief = (
-            isinstance(formula, Believes)
-            and not _mentions_belief(formula.body)
-        )
         belief_free = not _mentions_belief(formula)
-        if not (belief_free or top_level_belief):
+        monotone = not belief_free and not has_belief_under_negation(formula)
+        if not (belief_free or monotone):
             continue
         for run, k in points:
             a = collapse.evaluate(formula, run, k)
@@ -271,7 +293,7 @@ def check_hide_differential(
                         run_name=run.name, formula=str(formula), time=k,
                     )
                 )
-            elif top_level_belief and a and not b:
+            elif monotone and a and not b:
                 failures.append(
                     OracleFailure(
                         "hide_monotonicity",

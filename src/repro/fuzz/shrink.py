@@ -269,6 +269,56 @@ def shrink_assumptions(
     return tuple(current)
 
 
+def shrink_assumption_vector(
+    assumptions,
+    still_fails,
+    max_steps: int = 200,
+):
+    """Greedily drop (principal, formula) entries from an
+    :class:`~repro.goodruns.assumptions.InitialAssumptions` vector while
+    the failure persists.
+
+    Same contract as :func:`shrink_assumptions`, lifted to the
+    per-principal structure: each step removes one assumption formula
+    (principals left with none disappear from the vector), the
+    candidate is rebuilt through ``InitialAssumptions.of`` so its
+    invariants re-validate, and a predicate that raises counts as
+    not-failing.
+    """
+    from repro.goodruns.assumptions import InitialAssumptions
+
+    def rebuild(entries):
+        assignment = {}
+        for principal, formula in entries:
+            assignment.setdefault(principal, []).append(formula)
+        return InitialAssumptions.of(
+            {p: tuple(fs) for p, fs in assignment.items()}
+        )
+
+    current = [
+        (principal, formula)
+        for principal, formula in assumptions.all_formulas()
+    ]
+    budget = max_steps
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for index in range(len(current)):
+            entries = current[:index] + current[index + 1:]
+            budget -= 1
+            try:
+                failing = still_fails(rebuild(entries))
+            except Exception:
+                failing = False
+            if failing:
+                current = entries
+                improved = True
+                break
+            if budget <= 0:
+                break
+    return rebuild(current)
+
+
 def describe_proof(proof: Proof) -> list[str]:
     """A compact, numbered rendering of a proof for the JSON report."""
     lines = [f"proof: {len(proof.steps)} step(s)"]

@@ -15,8 +15,10 @@ from repro.goodruns.cointoss import (
     build_corrected_cointoss_example,
 )
 from repro.goodruns.construction import (
+    ENGINES,
     ConstructionResult,
     construct_good_runs,
+    refine_once,
     supports,
     unsupported_assumptions,
 )
@@ -51,8 +53,10 @@ __all__ = [
     "CoinTossExample",
     "build_cointoss_example",
     "build_corrected_cointoss_example",
+    "ENGINES",
     "ConstructionResult",
     "construct_good_runs",
+    "refine_once",
     "supports",
     "unsupported_assumptions",
     "RUN_P",

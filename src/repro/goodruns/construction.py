@@ -16,20 +16,40 @@ Theorem 2: if I satisfies I1, the constructed vector *supports* I (all
 assumptions hold at all time-0 points relative to it).
 Theorem 3: if I also satisfies I2, the constructed vector is *optimum*
 (the maximum of all supporting vectors).
+
+Two engines compute the same stages (held byte-identical by
+``tests/test_goodruns_construction_fuzz.py`` and the
+``goodruns_construction`` fuzz family):
+
+* ``naive`` — the literal definition: compile the system against
+  ``G^{j-1}`` at every stage and re-evaluate every stratum formula.
+* ``worklist`` (default) — one :class:`~repro.semantics.vector_eval.
+  VectorTruth` checker for the whole construction.  Belief-free bodies
+  and hidden-view classes are computed once; a body is re-evaluated at
+  stage j only if some principal its beliefs reference had its good set
+  change since the body was last evaluated (the checker's dependency
+  signature); stages whose strata are empty, and every stage after the
+  vector hits bottom, are skipped outright (``goodruns.stage_skipped``).
+  See DESIGN.md §12 for the invariants and the soundness argument.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import perf
 from repro.errors import AssumptionError
 from repro.goodruns.assumptions import InitialAssumptions
 from repro.obs import spans
 from repro.model.system import System
 from repro.semantics.compiler import compiled_for
 from repro.semantics.goodvectors import GoodRunVector
+from repro.semantics.vector_eval import VectorTruth
 from repro.terms.atoms import Principal
-from repro.terms.formulas import Believes
+from repro.terms.formulas import Believes, Formula
+
+#: Engines accepted by :func:`construct_good_runs`.
+ENGINES = ("worklist", "naive")
 
 
 @dataclass(frozen=True)
@@ -48,17 +68,48 @@ class ConstructionResult:
         return len(self.stages) - 1
 
 
+def _validate_assumptions(
+    system: System, assumptions: InitialAssumptions
+) -> None:
+    """Reject assumption vectors mentioning non-system principals.
+
+    Shared by the construction *and* the support checks
+    (:func:`supports` / :func:`unsupported_assumptions` /
+    :func:`refine_once`): a vector that silently "supports" assumptions
+    about principals the system has never heard of is a trap, not an
+    answer.
+    """
+    principals = system.principals()
+    for principal in assumptions.principals:
+        if principal not in principals:
+            raise AssumptionError(
+                f"assumptions mention {principal}, not a system principal"
+            )
+
+
 def construct_good_runs(
     system: System,
     assumptions: InitialAssumptions,
     pattern_hide: bool = False,
+    engine: str = "worklist",
 ) -> ConstructionResult:
     """Run the paper's iterative construction over a finite system."""
-    for principal in assumptions.principals:
-        if principal not in system.principals():
-            raise AssumptionError(
-                f"assumptions mention {principal}, not a system principal"
-            )
+    _validate_assumptions(system, assumptions)
+    if engine == "worklist":
+        return _construct_worklist(system, assumptions, pattern_hide)
+    if engine == "naive":
+        return _construct_naive(system, assumptions, pattern_hide)
+    raise AssumptionError(
+        f"unknown construction engine {engine!r}; expected one of {ENGINES}"
+    )
+
+
+def _construct_naive(
+    system: System,
+    assumptions: InitialAssumptions,
+    pattern_hide: bool,
+) -> ConstructionResult:
+    """The literal G^j loop: a fresh per-vector compilation per stage."""
     all_names = frozenset(run.name for run in system.runs)
     current: dict[Principal, frozenset[str]] = {
         principal: all_names for principal in system.principals()
@@ -70,7 +121,8 @@ def construct_good_runs(
         evaluator = compiled_for(system, previous_vector,
                                  pattern_hide=pattern_hide)
         updated: dict[Principal, frozenset[str]] = {}
-        with spans.span("goodruns.stage", depth=depth) as attrs:
+        with spans.span("goodruns.stage", depth=depth,
+                        engine="naive") as attrs:
             for principal in system.principals():
                 good = current[principal]
                 for formula in assumptions.stratum(principal, depth):
@@ -78,7 +130,7 @@ def construct_good_runs(
                     body = formula.body
                     good = frozenset(
                         name
-                        for name in good
+                        for name in sorted(good)
                         if evaluator.evaluate(body, system.run(name), 0)
                     )
                 updated[principal] = good
@@ -87,6 +139,135 @@ def construct_good_runs(
         stages.append(GoodRunVector.of(current))
 
     return ConstructionResult(stages[-1], tuple(stages))
+
+
+def _filter_good(
+    checker: VectorTruth,
+    system: System,
+    vector: GoodRunVector,
+    body: Formula,
+    good: frozenset[str],
+    pattern_hide: bool,
+) -> tuple[frozenset[str], bool]:
+    """``{ r ∈ good : (r, 0) |= body rel vector }`` plus a reused flag.
+
+    The bitset fast path serves any body the vector-truth checker can
+    analyze, provided every candidate run has a compiled time-0 point;
+    otherwise the per-run compiled evaluator takes over — including its
+    error behaviour (missing time 0, unassigned parameters), in the
+    same ``sorted(good)`` order as the naive engine.
+    """
+    reused = checker.is_cached(body, vector)
+    bits = checker.truth_bits(body, vector)
+    point_index = checker.compiled.point_index
+    if bits is not None and all((name, 0) in point_index for name in good):
+        perf.count("goodruns.body_bitset")
+        kept = frozenset(
+            name for name in sorted(good)
+            if (bits >> point_index[(name, 0)]) & 1
+        )
+        return kept, reused
+    perf.count("goodruns.body_fallback")
+    evaluator = compiled_for(system, vector, pattern_hide=pattern_hide)
+    kept = frozenset(
+        name for name in sorted(good)
+        if evaluator.evaluate(body, system.run(name), 0)
+    )
+    return kept, False
+
+
+def _construct_worklist(
+    system: System,
+    assumptions: InitialAssumptions,
+    pattern_hide: bool,
+) -> ConstructionResult:
+    """The incremental G^j loop: one checker, work only where truth moves."""
+    checker = VectorTruth(system, pattern_hide=pattern_hide)
+    all_names = frozenset(run.name for run in system.runs)
+    principals = system.principals()
+    current: dict[Principal, frozenset[str]] = {
+        principal: all_names for principal in principals
+    }
+    stages = [GoodRunVector.of(current)]
+    #: Once every good set is empty no stratum can change anything:
+    #: the naive loop's filters run over empty sets from here on.
+    bottomed = False
+
+    for depth in range(1, assumptions.max_depth + 1):
+        strata = {
+            principal: assumptions.stratum(principal, depth)
+            for principal in principals
+        }
+        if bottomed or not any(strata.values()):
+            # A gap stage (or the bottom vector): G^j = G^{j-1} with no
+            # evaluation at all.  The naive engine walks its (empty or
+            # no-op) filters here; both append an equal vector.
+            perf.count("goodruns.stage_skipped")
+            spans.event("goodruns.stage", depth=depth, engine="worklist",
+                        skipped=True,
+                        survivors=sum(len(g) for g in current.values()))
+            stages.append(stages[-1])
+            continue
+        previous_vector = stages[-1]
+        updated: dict[Principal, frozenset[str]] = {}
+        with spans.span("goodruns.stage", depth=depth,
+                        engine="worklist") as attrs:
+            evaluated = reused = 0
+            for principal in principals:
+                good = current[principal]
+                for formula in strata[principal]:
+                    assert isinstance(formula, Believes)
+                    good, was_cached = _filter_good(
+                        checker, system, previous_vector,
+                        formula.body, good, pattern_hide,
+                    )
+                    if was_cached:
+                        reused += 1
+                        perf.count("goodruns.body_reused")
+                    else:
+                        evaluated += 1
+                        perf.count("goodruns.body_evaluated")
+                updated[principal] = good
+            attrs["survivors"] = sum(len(good) for good in updated.values())
+            attrs["evaluated"] = evaluated
+            attrs["reused"] = reused
+        current = updated
+        stages.append(GoodRunVector.of(current))
+        bottomed = not any(current.values())
+
+    return ConstructionResult(stages[-1], tuple(stages))
+
+
+def refine_once(
+    system: System,
+    vector: GoodRunVector,
+    assumptions: InitialAssumptions,
+    pattern_hide: bool = False,
+) -> GoodRunVector:
+    """One application of *every* stratum relative to a fixed vector.
+
+    ``refine_once(G) == G`` exactly when G is a fixpoint of the
+    construction operator.  For the constructed vector this holds for
+    every I1 vector: belief-free bodies are vector-independent, and I1
+    confines beliefs to monotone positions (``And``/``Believes``/
+    ``Controls`` — never under negation), so a body true relative to
+    some ``G^{j-1} ⊇ G`` stays true relative to G.  The
+    ``goodruns_construction`` fuzz family checks this mechanically.
+    """
+    _validate_assumptions(system, assumptions)
+    checker = VectorTruth(system, pattern_hide=pattern_hide)
+    all_names = frozenset(run.name for run in system.runs)
+    updated: dict[Principal, frozenset[str]] = {}
+    for principal in system.principals():
+        good = vector.good_runs(principal)
+        good = all_names if good is None else good
+        for formula in assumptions.normalized.get(principal, ()):
+            assert isinstance(formula, Believes)
+            good, _ = _filter_good(
+                checker, system, vector, formula.body, good, pattern_hide
+            )
+        updated[principal] = good
+    return GoodRunVector.of(updated)
 
 
 def supports(
@@ -107,6 +288,7 @@ def unsupported_assumptions(
     pattern_hide: bool = False,
 ) -> list[tuple[Principal, object, str]]:
     """The (principal, formula, run name) triples where support fails."""
+    _validate_assumptions(system, assumptions)
     evaluator = compiled_for(system, vector, pattern_hide=pattern_hide)
     failures = []
     for principal, formula in assumptions.all_formulas():

@@ -230,6 +230,24 @@ class CompiledSystem:
             self._nodes[formula] = node
         return node()
 
+    def run_mask(self, name: str) -> int:
+        """The point mask of one run (0 for a name not in the system)."""
+        return self._run_masks.get(name, 0)
+
+    def belief_groups(
+        self, principal: Principal
+    ) -> tuple[tuple[int, int], ...]:
+        """The principal's (members, possible) view-class bit pairs."""
+        return self._belief_groups_for(principal)
+
+    def can_compile(self, formula: Formula) -> bool:
+        """Whether :meth:`truth_bits` can answer for this formula."""
+        return self._supported(formula)
+
+    def uniform_principal(self, term: Message) -> bool:
+        """Whether ``term`` is a principal with state in every run."""
+        return self._uniform_principal(term)
+
     def cache_stats(self) -> dict[str, int]:
         """Sizes of this compiled system's internal tables."""
         return {

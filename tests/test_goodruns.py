@@ -199,6 +199,99 @@ class TestOptimalitySearch:
         assert meet.leq(small, example.system)
 
 
+class TestUnifiedValidation:
+    """Construction and support checks reject the same bad inputs.
+
+    ``construct_good_runs`` always refused assumption vectors that
+    mention principals outside the system; ``supports`` and
+    ``unsupported_assumptions`` used to silently report such vectors as
+    supported.  All entry points now share ``_validate_assumptions``.
+    """
+
+    @staticmethod
+    def _foreign_assumptions():
+        stranger = Principal("P-nowhere")
+        return InitialAssumptions.of({stranger: [Believes(stranger, P)]})
+
+    def test_construct_rejects_foreign_principal(self):
+        example = build_cointoss_example()
+        with pytest.raises(AssumptionError, match="not a system principal"):
+            construct_good_runs(example.system, self._foreign_assumptions())
+
+    def test_supports_rejects_foreign_principal(self):
+        example = build_cointoss_example()
+        top = GoodRunVector.all_runs(example.system)
+        with pytest.raises(AssumptionError, match="not a system principal"):
+            supports(example.system, top, self._foreign_assumptions())
+
+    def test_unsupported_assumptions_rejects_foreign_principal(self):
+        example = build_cointoss_example()
+        top = GoodRunVector.all_runs(example.system)
+        with pytest.raises(AssumptionError, match="not a system principal"):
+            unsupported_assumptions(
+                example.system, top, self._foreign_assumptions()
+            )
+
+    def test_refine_once_rejects_foreign_principal(self):
+        from repro.goodruns import refine_once
+
+        example = build_cointoss_example()
+        top = GoodRunVector.all_runs(example.system)
+        with pytest.raises(AssumptionError, match="not a system principal"):
+            refine_once(example.system, top, self._foreign_assumptions())
+
+    def test_enumeration_rejects_foreign_principal(self):
+        example = build_cointoss_example()
+        with pytest.raises(AssumptionError, match="not a system principal"):
+            enumerate_supporting_vectors(
+                example.system, self._foreign_assumptions()
+            )
+
+    def test_unknown_engine_rejected(self):
+        from repro.goodruns import ENGINES
+
+        example = build_cointoss_example()
+        with pytest.raises(AssumptionError, match="unknown construction"):
+            construct_good_runs(
+                example.system, example.assumptions, engine="recursive"
+            )
+        assert set(ENGINES) == {"worklist", "naive"}
+
+
+class TestSharedCompilation:
+    """The brute-force search compiles the system at most once.
+
+    Counted in a fresh (born-empty caches) scoped context so the
+    assertion is about this search, not about what earlier tests left
+    in the session's compiled-system cache.
+    """
+
+    def test_enumeration_compiles_once(self):
+        from repro import context
+
+        example = build_corrected_cointoss_example()
+        ctx = context.fresh("test-goodruns-enumeration")
+        with context.use(ctx):
+            supporting = enumerate_supporting_vectors(
+                example.system, example.assumptions
+            )
+            misses = ctx.counters["compiled_eval.system_miss"]
+        assert supporting  # the search actually ran
+        # One top compilation serves all (2^|runs|)^|principals| vectors.
+        assert misses <= 1
+
+    def test_optimality_report_compiles_once(self):
+        from repro import context
+
+        example = build_corrected_cointoss_example()
+        ctx = context.fresh("test-goodruns-optimality")
+        with context.use(ctx):
+            report = optimality_report(example.system, example.assumptions)
+            misses = ctx.counters["compiled_eval.system_miss"]
+        assert report.has_optimum
+        assert misses <= 1
+
+
 class TestKnowingOnly:
     """The Halpern-Moses 'knowing only α' obstruction behind I1."""
 
