@@ -26,6 +26,17 @@ left behind in the process-default context).
     hit/miss table, and write a machine-readable benchmark record
     (default ``BENCH_sweep.json``).
 
+``obs [--systems N] [--instances M] [--seed S] [--workers W]
+[--format {prometheus,json}] [--output PATH] [--journal PATH]
+[--input PATH]``
+    Run the E3 sweep workload under a fresh correlated context and
+    export the unified telemetry snapshot — labeled metrics, perf
+    counters, cache hit-rates and peaks, span percentiles, journal
+    depth — as Prometheus text exposition or JSON.  ``--journal``
+    additionally dumps the flight-recorder ring as JSONL; ``--input``
+    re-exports a previously saved JSON snapshot instead of running a
+    workload.
+
 ``trace [--systems N] [--seed S] [--schema NAME] [--instances M]
 [--formula TEXT] [--output PATH] [--only-failures]``
     Trace the Section 6 truth definition: evaluate axiom-schema
@@ -239,29 +250,30 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     ]
     goodruns_stage_spans: dict = {}
     for engine in ("naive", "worklist"):
-        mark = spans.mark()
         engine_ctx = context.fresh(f"perf-goodruns-{engine}")
         with context.use(engine_ctx):
             with perf.Stopwatch() as watch:
                 for system, assumptions in workloads:
                     construct_good_runs(system, assumptions, engine=engine)
         context.current().absorb(
-            engine_ctx.counter_delta(), engine_ctx.span_delta()
+            engine_ctx.counter_delta(), engine_ctx.span_delta(),
+            engine_ctx.journal_delta(), engine_ctx.metrics_delta(),
         )
-        stage_samples = [
-            sample
-            for sample in spans.delta_since(mark)
-            if sample["name"] == "goodruns.stage"
-        ]
-        stage_total = sum(sample["seconds"] for sample in stage_samples)
+        # The grouped summary splits ``goodruns.stage`` into
+        # per-engine rows directly; no manual filtering of the raw
+        # span buffer.
+        row = spans.summary(group_by="engine").get(
+            f"goodruns.stage{{engine={engine}}}",
+            {"count": 0, "total_s": 0.0},
+        )
         goodruns_stage_spans[engine] = {
-            "stages": len(stage_samples),
-            "stage_total_s": round(stage_total, 6),
+            "stages": row["count"],
+            "stage_total_s": row["total_s"],
         }
         measurements[f"goodruns_{engine}_s"] = round(watch.seconds, 6)
         print(
             f"[goodruns/{engine}] construct {watch.seconds:.3f}s | "
-            f"{len(stage_samples)} stage spans {stage_total:.3f}s"
+            f"{row['count']} stage spans {row['total_s']:.3f}s"
         )
     naive_total = goodruns_stage_spans["naive"]["stage_total_s"]
     worklist_total = goodruns_stage_spans["worklist"]["stage_total_s"]
@@ -279,7 +291,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     print()
     print(perf.report())
     print()
-    print(spans.render())
+    print(spans.render(group_by="engine"))
     print()
     print(f"generation {generation.seconds:.3f}s")
     perf.write_bench_json(
@@ -297,6 +309,55 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     )
     print(f"wrote {args.output}")
     return 0 if not report.essential_violations else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import journal, metrics, run_metadata
+
+    if args.input is not None:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    else:
+        from repro import context
+        from repro.soundness import generate_systems, sweep_systems
+
+        # The whole workload runs in a fresh context under one
+        # correlation ID, so the exported snapshot is exactly this
+        # invocation's telemetry — the per-request shape the serve
+        # daemon will reuse.
+        with context.scoped("cli-obs") as ctx:
+            ctx.corr_id = journal.new_corr_id("obs")
+            systems = generate_systems(args.systems, base_seed=args.seed)
+            sweep_systems(
+                systems,
+                max_instances_per_schema=args.instances,
+                workers=args.workers,
+                engine=args.engine,
+            )
+            snapshot = metrics.unified_snapshot(
+                meta=run_metadata(
+                    command="obs", systems=args.systems,
+                    instances=args.instances, seed=args.seed,
+                    workers=args.workers, engine=args.engine,
+                )
+            )
+            if args.journal is not None:
+                events = journal.write_jsonl(args.journal)
+                print(f"wrote {events} journal events to {args.journal}",
+                      file=sys.stderr)
+    text = (
+        metrics.to_prometheus(snapshot) if args.format == "prometheus"
+        else metrics.to_json(snapshot)
+    )
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -482,6 +543,36 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the machine-readable benchmark record",
     )
 
+    obs_parser = sub.add_parser(
+        "obs", help="export the unified telemetry snapshot"
+    )
+    obs_parser.add_argument("--systems", type=int, default=3)
+    obs_parser.add_argument("--instances", type=int, default=60)
+    obs_parser.add_argument("--seed", type=int, default=0)
+    obs_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers for the sweep workload",
+    )
+    obs_parser.add_argument(
+        "--engine", choices=["compiled", "interpreted"], default="compiled",
+    )
+    obs_parser.add_argument(
+        "--format", choices=["prometheus", "json"], default="prometheus",
+        help="exposition format for the snapshot (default: prometheus)",
+    )
+    obs_parser.add_argument(
+        "--output", default=None,
+        help="write the exposition here instead of stdout",
+    )
+    obs_parser.add_argument(
+        "--journal", default=None,
+        help="also dump the flight-recorder ring as JSONL to this path",
+    )
+    obs_parser.add_argument(
+        "--input", default=None,
+        help="re-export a saved JSON snapshot instead of running a workload",
+    )
+
     trace_parser = sub.add_parser(
         "trace", help="explanation-trace schema instances over systems"
     )
@@ -543,6 +634,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "sweep": _isolated(_cmd_sweep),
         "perf": _cmd_perf,
+        "obs": _cmd_obs,
         "trace": _isolated(_cmd_trace),
         "fuzz": _isolated(_cmd_fuzz),
         "cointoss": _cmd_cointoss,

@@ -94,9 +94,14 @@ class BoundedMemo(dict):
 
     def __setitem__(self, key: Any, value: Any) -> None:
         if len(self) >= self.cap and key not in self:
-            counters = current().counters
+            ctx = current()
+            counters = ctx.counters
             event = self.layer + ".evict"
             counters[event] = counters.get(event, 0) + 1
+            ctx.journal.record(
+                "cache_evict", corr=ctx.corr_id,
+                layer=self.layer, entries=len(self), cap=self.cap,
+            )
             self.clear()
         super().__setitem__(key, value)
 
@@ -117,6 +122,13 @@ class EngineContext:
       reads and writes the current context's);
     * ``spans`` — the wall-clock span buffer
       (:class:`repro.obs.spans.SpanRecorder`), created lazily;
+    * ``journal`` — the bounded flight-recorder ring buffer
+      (:class:`repro.obs.journal.Journal`), created lazily;
+    * ``metrics`` — the labeled-instrument registry
+      (:class:`repro.obs.metrics.MetricsRegistry`), created lazily;
+    * ``corr_id`` — the session's correlation ID (stamped onto journal
+      events and span attributes; the per-request ID a serving layer
+      threads through shards and ephemeral contexts);
     * ``evaluators`` — the weak registry of live
       :class:`~repro.semantics.evaluator.Evaluator` instances, so
       ``perf.clear_caches()``/``cache_sizes()`` can reach their
@@ -130,6 +142,7 @@ class EngineContext:
     __slots__ = (
         "name",
         "memo_cap",
+        "corr_id",
         "intern_table",
         "hide_memo",
         "seen_memo",
@@ -138,13 +151,17 @@ class EngineContext:
         "compiled_systems",
         "cache_peaks",
         "_spans",
+        "_journal",
+        "_metrics",
         "__weakref__",
     )
 
     def __init__(self, name: str | None = None,
-                 memo_cap: int = DEFAULT_MEMO_CAP) -> None:
+                 memo_cap: int = DEFAULT_MEMO_CAP,
+                 corr_id: str | None = None) -> None:
         self.name = name if name is not None else _next_name("ctx")
         self.memo_cap = memo_cap
+        self.corr_id = corr_id
         self.intern_table: "weakref.WeakValueDictionary[tuple, Any]" = (
             weakref.WeakValueDictionary()
         )
@@ -161,6 +178,8 @@ class EngineContext:
         # dying (weakly-registered evaluator memos) or being cleared.
         self.cache_peaks: dict[str, int] = {}
         self._spans = None
+        self._journal = None
+        self._metrics = None
 
     # -- lazily-built members --------------------------------------------------
 
@@ -180,6 +199,34 @@ class EngineContext:
             self._spans = recorder
         return recorder
 
+    @property
+    def journal(self):
+        """The context's flight-recorder ring buffer (built on first use).
+
+        Lazy for the same reasons as :attr:`spans`: contexts stay
+        stdlib-cheap to construct, and the :mod:`repro.obs.journal`
+        import (which itself imports this module) is deferred past both
+        modules' initialization.
+        """
+        ring = self._journal
+        if ring is None:
+            from repro.obs.journal import Journal
+
+            ring = Journal()
+            self._journal = ring
+        return ring
+
+    @property
+    def metrics(self):
+        """The context's labeled-metrics registry (built on first use)."""
+        registry = self._metrics
+        if registry is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            self._metrics = registry
+        return registry
+
     # -- telemetry transport ---------------------------------------------------
 
     def counter_delta(self) -> dict[str, int]:
@@ -197,12 +244,29 @@ class EngineContext:
             return []
         return [dict(sample) for sample in self._spans.snapshot()]
 
-    def absorb(self, counters: Mapping[str, int] | None = None,
-               spans: Sequence[Mapping[str, Any]] | None = None) -> None:
-        """Merge another context's telemetry (counters, spans) into this one.
+    def journal_delta(self) -> list[dict[str, Any]]:
+        """The context's journal events as plain picklable data."""
+        if self._journal is None:
+            return []
+        return self._journal.delta_since(0)
 
-        Cache contents are deliberately *not* merged: they are private
-        to their context.  Only the observable accounting flows upward.
+    def metrics_delta(self) -> dict[str, Any]:
+        """The context's metric instruments as a plain-data snapshot."""
+        if self._metrics is None:
+            return {}
+        return self._metrics.snapshot()
+
+    def absorb(self, counters: Mapping[str, int] | None = None,
+               spans: Sequence[Mapping[str, Any]] | None = None,
+               journal: Sequence[Mapping[str, Any]] | None = None,
+               metrics: Mapping[str, Any] | None = None) -> None:
+        """Merge another context's telemetry into this one.
+
+        Counters add, spans and journal events append, and metric
+        instruments merge by kind (counters/histograms add, gauges
+        max).  Cache contents are deliberately *not* merged: they are
+        private to their context.  Only the observable accounting flows
+        upward.
         """
         if counters:
             mine = self.counters
@@ -210,10 +274,15 @@ class EngineContext:
                 mine[event] = mine.get(event, 0) + n
         if spans:
             self.spans.merge(spans)
+        if journal:
+            self.journal.merge(journal)
+        if metrics:
+            self.metrics.merge(metrics)
 
     def absorb_context(self, other: "EngineContext") -> None:
         """Shorthand: absorb everything observable about ``other``."""
-        self.absorb(other.counter_delta(), other.span_delta())
+        self.absorb(other.counter_delta(), other.span_delta(),
+                    other.journal_delta(), other.metrics_delta())
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -251,9 +320,18 @@ def current() -> EngineContext:
 
 
 def fresh(name: str | None = None,
-          memo_cap: int = DEFAULT_MEMO_CAP) -> EngineContext:
-    """A new, empty context (does not enter it; pair with :func:`use`)."""
-    return EngineContext(name=name, memo_cap=memo_cap)
+          memo_cap: int = DEFAULT_MEMO_CAP,
+          corr_id: str | None = None) -> EngineContext:
+    """A new, empty context (does not enter it; pair with :func:`use`).
+
+    The new context *inherits the creator's correlation ID* unless an
+    explicit ``corr_id`` is given: ephemeral shard/iteration contexts
+    stay attributable to the request that spawned them, which is how
+    one correlation ID survives the delta-shipping transport.
+    """
+    if corr_id is None:
+        corr_id = current().corr_id
+    return EngineContext(name=name, memo_cap=memo_cap, corr_id=corr_id)
 
 
 class use:

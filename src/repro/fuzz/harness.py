@@ -32,7 +32,7 @@ from repro.logic.certify import CertificationError, certify
 from repro.logic.engine import Derivation, Rule
 from repro.logic.proof import Proof
 from repro.model.system import System
-from repro.obs import run_metadata, spans
+from repro.obs import journal, metrics, run_metadata, spans
 from repro.obs.spans import summarize
 from repro.obs.trace import render_why, trace_evaluation
 from repro.semantics.compiler import compiled_for
@@ -83,6 +83,11 @@ from repro.fuzz.shrink import (
 )
 
 
+#: How many trailing journal events a counterexample carries (the
+#: "flight recorder" tail attached next to the why-false trace).
+JOURNAL_TAIL = 20
+
+
 @dataclass
 class MutatorStats:
     applied: int = 0
@@ -102,6 +107,14 @@ class Counterexample:
     #: Rendered "why" proof-tree of the violated instance, when the
     #: failure names a (formula, run, time) that can be re-evaluated.
     trace: list[str] = field(default_factory=list)
+    #: The iteration's correlation ID: the same value stamped on its
+    #: journal events and span attributes, so a counterexample selects
+    #: its own telemetry out of the campaign's merged stream.
+    corr_id: str | None = None
+    #: The flight-recorder tail of the failing iteration (last-N
+    #: journal events: compilations, fallbacks, evictions, stage
+    #: skips, oracle verdicts) — what happened just before it failed.
+    journal: list[dict] = field(default_factory=list)
 
     def to_json(self) -> dict:
         return {
@@ -111,6 +124,8 @@ class Counterexample:
             "failure": self.failure.to_json(),
             "script": self.script,
             "trace": self.trace,
+            "corr_id": self.corr_id,
+            "journal": [dict(event) for event in self.journal],
         }
 
 
@@ -441,7 +456,11 @@ def run_fuzz(
     enabled = frozenset(config.oracles)
     report = FuzzReport(seed=config.seed)
     report.meta = run_metadata(
-        seed=config.seed, iterations=config.iterations
+        command="fuzz", seed=config.seed, iterations=config.iterations,
+        oracles=sorted(enabled),
+    )
+    iteration_seconds = metrics.registry().histogram(
+        "fuzz_iteration_seconds", "Wall-clock per fuzz iteration."
     )
     span_mark = spans.mark()
     started = time.perf_counter()
@@ -449,13 +468,31 @@ def run_fuzz(
         # Each iteration runs in an ephemeral engine context: its
         # interned terms, kernel memos, and evaluator registrations are
         # dropped wholesale when the workload ends (bounding memory for
-        # long campaigns), while its counters and spans are absorbed
-        # into the caller's context so campaign telemetry stays whole.
-        iter_ctx = context.fresh(f"fuzz-iter-{iteration}")
+        # long campaigns), while its counters, spans, journal events,
+        # and metrics are absorbed into the caller's context so
+        # campaign telemetry stays whole.  The deterministic
+        # correlation ID ties an iteration's journal events, span
+        # attributes, and counterexamples together — and keeps reports
+        # bit-reproducible per seed.
+        corr_id = f"fuzz-{config.seed}-{iteration}"
+        iter_ctx = context.fresh(f"fuzz-iter-{iteration}", corr_id=corr_id)
+        iteration_started = time.perf_counter()
         with context.use(iter_ctx):
+            before = len(report.counterexamples)
             _fuzz_iteration(config, enabled, report, iteration, replay_rules)
+            fresh_examples = report.counterexamples[before:]
+            if fresh_examples:
+                # Attach the iteration's flight-recorder tail: the
+                # last-N events (compiles, fallbacks, evictions, oracle
+                # verdicts) leading up to the failure.
+                events = journal.tail(JOURNAL_TAIL)
+                for example in fresh_examples:
+                    example.corr_id = corr_id
+                    example.journal = events
+        iteration_seconds.observe(time.perf_counter() - iteration_started)
         context.current().absorb(
-            iter_ctx.counter_delta(), iter_ctx.span_delta()
+            iter_ctx.counter_delta(), iter_ctx.span_delta(),
+            iter_ctx.journal_delta(), iter_ctx.metrics_delta(),
         )
         report.iterations += 1
         if progress is not None:
@@ -487,6 +524,9 @@ def _fuzz_iteration(
             interp_failures = check_interpretation_agreement(
                 system, interp_points
             )
+        journal.record("oracle_verdict", oracle="prim_agreement",
+                       checks=len(interp_points),
+                       failures=len(interp_failures))
         report.count_check("prim_agreement", len(interp_points))
         for failure in interp_failures:
             report.counterexamples.append(
@@ -520,6 +560,9 @@ def _fuzz_iteration(
         stats.applied += 1
         report.count_check("wf_classification")
         failure = check_mutation(mutation)
+        journal.record("oracle_verdict", oracle="wf_classification",
+                       mutator=mutation.name,
+                       failures=0 if failure is None else 1)
         if failure is None:
             stats.detected += 1
         else:
@@ -554,6 +597,8 @@ def _fuzz_iteration(
                     rng, system, formulas, points
                 )
             )
+        journal.record("oracle_verdict", oracle="differential",
+                       checks=checks, failures=len(failures))
         for failure in failures:
             run = system.run(failure.run_name) if failure.run_name else None
             report.counterexamples.append(
@@ -577,6 +622,8 @@ def _fuzz_iteration(
             ) + check_compiled_differential(
                 system, formulas, points, pattern_hide=True
             )
+        journal.record("oracle_verdict", oracle="compiled_vs_interpreted",
+                       checks=checks, failures=len(compiled_failures))
         for failure in compiled_failures:
             run = system.run(failure.run_name) if failure.run_name else None
             report.counterexamples.append(
@@ -610,10 +657,13 @@ def _fuzz_iteration(
                         optimality_cap=config.goodruns_optimality_cap,
                     )
         context.current().absorb(
-            goodruns_ctx.counter_delta(), goodruns_ctx.span_delta()
+            goodruns_ctx.counter_delta(), goodruns_ctx.span_delta(),
+            goodruns_ctx.journal_delta(), goodruns_ctx.metrics_delta(),
         )
         if goodruns_assumptions is not None:
             report.count_check("goodruns_construction")
+            journal.record("oracle_verdict", oracle="goodruns_construction",
+                           failures=len(goodruns_failures))
         for failure in goodruns_failures:
             report.counterexamples.append(
                 _shrunk_goodruns_counterexample(
@@ -645,6 +695,9 @@ def _fuzz_iteration(
         if "engine_replay" in enabled:
             derived = len(derivation.origins) if derivation else 0
             report.count_check("engine_replay", max(derived, 1))
+            journal.record("oracle_verdict", oracle="engine_replay",
+                           checks=max(derived, 1),
+                           failures=len(replay_failures))
             for failure in replay_failures:
                 report.counterexamples.append(
                     _shrunk_replay_counterexample(
@@ -678,6 +731,9 @@ def _fuzz_iteration(
                     else:
                         stats.failed += 1
                         proof_failures.append((proof_mutation, failure))
+            if proof is not None:
+                journal.record("oracle_verdict", oracle="proof_mutation",
+                               failures=len(proof_failures))
         for proof_mutation, failure in proof_failures:
             report.counterexamples.append(
                 _shrunk_proof_counterexample(
@@ -697,6 +753,8 @@ def _fuzz_iteration(
             failure = check_parallel_sweep(
                 system, config.parallel_workers, config.parallel_instances
             )
+        journal.record("oracle_verdict", oracle="parallel_sweep",
+                       failures=0 if failure is None else 1)
         if failure is not None:
             report.counterexamples.append(
                 Counterexample(iteration=iteration, failure=failure)

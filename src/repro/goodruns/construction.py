@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from repro import perf
 from repro.errors import AssumptionError
 from repro.goodruns.assumptions import InitialAssumptions
-from repro.obs import spans
+from repro.obs import journal, spans
 from repro.model.system import System
 from repro.semantics.compiler import compiled_for
 from repro.semantics.goodvectors import GoodRunVector
@@ -203,6 +203,8 @@ def _construct_worklist(
             # evaluation at all.  The naive engine walks its (empty or
             # no-op) filters here; both append an equal vector.
             perf.count("goodruns.stage_skipped")
+            journal.record("stage_skip", depth=depth,
+                           bottomed=bottomed, engine="worklist")
             spans.event("goodruns.stage", depth=depth, engine="worklist",
                         skipped=True,
                         survivors=sum(len(g) for g in current.values()))

@@ -1,12 +1,22 @@
-"""Observability: spans, explanation traces, and run metadata.
+"""Observability: spans, metrics, journal, traces, and run metadata.
 
-Three layers, complementing the flat hit/miss counters of
+Five layers, complementing the flat hit/miss counters of
 :mod:`repro.perf`:
 
 * :mod:`repro.obs.spans` — named wall-clock spans with percentile
-  summaries; buffered process-wide, shipped across worker processes as
+  summaries; buffered per context, shipped across worker processes as
   deltas and merged losslessly (the ``spans`` section of
   ``BENCH_sweep.json``);
+* :mod:`repro.obs.metrics` — the labeled-metrics registry (typed
+  counters/gauges/histograms on the :class:`~repro.context.
+  EngineContext`) and the *unified snapshot* that folds perf counters,
+  cache peaks/hit-rates, span percentiles, and journal depth into one
+  document with Prometheus and JSON exporters (``python -m repro
+  obs``);
+* :mod:`repro.obs.journal` — the flight recorder: a bounded ring of
+  structured events (compilations, cache evictions, fallbacks, stage
+  skips, oracle verdicts, shard merges) carrying correlation IDs that
+  survive process boundaries; fuzz counterexamples attach its tail;
 * :mod:`repro.obs.trace` — the opt-in evaluation tracer: the full
   "why-false" proof tree behind any verdict of the Section 6 truth
   definition, renderable or emitted as JSONL (``python -m repro
@@ -16,7 +26,7 @@ Three layers, complementing the flat hit/miss counters of
   are attributable across machines.
 """
 
-from repro.obs import spans
+from repro.obs import journal, metrics, spans
 from repro.obs.runmeta import git_sha, run_metadata
 from repro.obs.trace import (
     TraceNode,
@@ -27,6 +37,8 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "journal",
+    "metrics",
     "spans",
     "git_sha",
     "run_metadata",

@@ -111,9 +111,16 @@ class SpanRecorder:
         with self._lock:
             return len(self._buffer)
 
-    def summary(self) -> dict[str, dict[str, Any]]:
-        """Per-name count/total/min/max/p50/p95/p99, from the buffer."""
-        return summarize(self.snapshot())
+    def summary(self, group_by: str | None = None) -> dict[str, dict[str, Any]]:
+        """Per-name count/total/min/max/p50/p95/p99, from the buffer.
+
+        With ``group_by`` set to an attribute name, samples carrying
+        that attribute split into per-value rows keyed
+        ``name{attr=value}`` (e.g. ``goodruns.stage`` by ``depth`` or
+        ``engine``); samples without the attribute keep their plain
+        name — no more manual post-filtering of the raw buffer.
+        """
+        return summarize(self.snapshot(), group_by=group_by)
 
     def histogram(self, name: str, base: float = 2.0) -> list[tuple[float, int]]:
         """Log-bucketed duration counts for one span name.
@@ -140,18 +147,19 @@ class SpanRecorder:
             for exponent in sorted(counts)
         ]
 
-    def render(self) -> str:
+    def render(self, group_by: str | None = None) -> str:
         """Human-readable span table (the ``perf`` CLI companion)."""
-        summary = self.summary()
+        summary = self.summary(group_by=group_by)
+        width = max([26] + [len(name) for name in summary])
         header = (
-            f"{'span':<26} {'count':>6} {'total_s':>9} {'p50_s':>9} "
+            f"{'span':<{width}} {'count':>6} {'total_s':>9} {'p50_s':>9} "
             f"{'p95_s':>9} {'p99_s':>9} {'max_s':>9}"
         )
         lines = [header, "-" * len(header)]
         for name in sorted(summary):
             row = summary[name]
             lines.append(
-                f"{name:<26} {row['count']:>6} {row['total_s']:>9.4f} "
+                f"{name:<{width}} {row['count']:>6} {row['total_s']:>9.4f} "
                 f"{row['p50_s']:>9.4f} {row['p95_s']:>9.4f} "
                 f"{row['p99_s']:>9.4f} {row['max_s']:>9.4f}"
             )
@@ -175,12 +183,23 @@ def percentile(durations: list[float], q: float) -> float:
 
 
 def summarize(
-    samples: Iterable[Mapping[str, Any]]
+    samples: Iterable[Mapping[str, Any]],
+    group_by: str | None = None,
 ) -> dict[str, dict[str, Any]]:
-    """Reduce raw span samples to per-name timing statistics."""
+    """Reduce raw span samples to per-name timing statistics.
+
+    ``group_by`` names a span attribute: samples carrying it are keyed
+    ``name{attr=value}`` instead of plain ``name``, yielding per-stage
+    or per-engine rows directly from the buffer.
+    """
     by_name: dict[str, list[float]] = {}
     for sample in samples:
-        by_name.setdefault(sample["name"], []).append(sample["seconds"])
+        key = sample["name"]
+        if group_by is not None:
+            attrs = sample.get("attrs") or {}
+            if group_by in attrs:
+                key = f"{key}{{{group_by}={attrs[group_by]}}}"
+        by_name.setdefault(key, []).append(sample["seconds"])
     out: dict[str, dict[str, Any]] = {}
     for name, durations in by_name.items():
         durations.sort()
@@ -206,16 +225,30 @@ def recorder() -> SpanRecorder:
     return _context.current().spans
 
 
+def _stamp_corr(attrs: dict[str, Any]) -> dict[str, Any]:
+    """Attach the current correlation ID (if any) to span attributes.
+
+    The same ID lands on journal events (:mod:`repro.obs.journal`), so
+    one ``corr`` value selects a request's spans *and* events out of
+    any merged telemetry stream — the provenance contract fuzz
+    counterexamples and the future serve daemon rely on.
+    """
+    corr = _context.current().corr_id
+    if corr is not None:
+        attrs.setdefault("corr", corr)
+    return attrs
+
+
 def span(name: str, **attrs: Any):
-    return recorder().span(name, **attrs)
+    return recorder().span(name, **_stamp_corr(attrs))
 
 
 def record(name: str, seconds: float, **attrs: Any) -> None:
-    recorder().record(name, seconds, **attrs)
+    recorder().record(name, seconds, **_stamp_corr(attrs))
 
 
 def event(name: str, **attrs: Any) -> None:
-    recorder().event(name, **attrs)
+    recorder().event(name, **_stamp_corr(attrs))
 
 
 def mark() -> int:
@@ -238,16 +271,16 @@ def reset() -> None:
     recorder().reset()
 
 
-def summary() -> dict[str, dict[str, Any]]:
-    return recorder().summary()
+def summary(group_by: str | None = None) -> dict[str, dict[str, Any]]:
+    return recorder().summary(group_by=group_by)
 
 
 def histogram(name: str, base: float = 2.0) -> list[tuple[float, int]]:
     return recorder().histogram(name, base)
 
 
-def render() -> str:
-    return recorder().render()
+def render(group_by: str | None = None) -> str:
+    return recorder().render(group_by=group_by)
 
 
 def write_jsonl(path: str) -> int:

@@ -218,8 +218,20 @@ class CompiledSystem:
         The formula must be ground (callers go through
         :meth:`evaluate`, which substitutes parameters first).
         """
+        # Journal only the *first* verdict per formula shape (the
+        # support memo makes "first" cheap to detect): the flight
+        # recorder wants "this shape fell back", not one event per
+        # point of a hot loop.
+        known = formula in self._support
         if not self._supported(formula):
             perf.count("compiled_eval.fallback")
+            if not known:
+                from repro.obs import journal
+
+                journal.record(
+                    "fallback", engine="compiled",
+                    formula=str(formula)[:160],
+                )
             return None
         node = self._nodes.get(formula)
         if node is not None:
@@ -661,4 +673,11 @@ def compiled_for(
     perf.count("compiled_eval.system_miss")
     compiled = CompiledSystem(system, goodruns, pattern_hide=pattern_hide)
     ctx.compiled_systems[key] = compiled
+    from repro.obs import journal
+
+    journal.record(
+        "compile", runs=len(system.runs),
+        points=len(compiled.point_index),
+        goodruns=goodruns is not None, pattern_hide=pattern_hide,
+    )
     return compiled

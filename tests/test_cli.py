@@ -107,8 +107,53 @@ class TestCLI:
         ]) == 0
         out = capsys.readouterr().out
         assert "sweep.schema" in out and "p95_s" in out
+        # The span table is grouped by engine: the good-runs stage rows
+        # split per construction engine with no manual post-filtering.
+        assert "goodruns.stage{engine=naive}" in out
+        assert "goodruns.stage{engine=worklist}" in out
         record = json.loads(out_path.read_text())
         assert "sweep.schema" in record["spans"]
         assert record["spans"]["sweep.schema"]["count"] > 0
         assert record["meta"]["python"]
         assert record["meta"]["command"] == "perf"
+
+    def test_obs_prometheus_exposition(self, capsys):
+        assert main([
+            "obs", "--systems", "1", "--instances", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_perf_events_total counter" in out
+        assert "repro_cache_hit_ratio{" in out
+        assert 'repro_span_duration_seconds{quantile="0.95"' in out
+        assert "repro_journal_capacity" in out
+        assert 'repro_build_info{' in out and 'command="obs"' in out
+
+    def test_obs_json_journal_and_reexport(self, tmp_path, capsys):
+        import json
+
+        snap_path = tmp_path / "snapshot.json"
+        journal_path = tmp_path / "journal.jsonl"
+        assert main([
+            "obs", "--systems", "1", "--instances", "10",
+            "--format", "json", "--output", str(snap_path),
+            "--journal", str(journal_path),
+        ]) == 0
+        snapshot = json.loads(snap_path.read_text())
+        assert {"instruments", "perf", "spans", "journal",
+                "meta"} <= set(snapshot)
+        events = [
+            json.loads(line)
+            for line in journal_path.read_text().splitlines()
+        ]
+        assert events
+        # The whole workload ran under one fresh correlation ID.
+        corrs = {event["corr"] for event in events}
+        assert len(corrs) == 1
+        assert next(iter(corrs)).startswith("obs-")
+        # A saved JSON snapshot re-exports as Prometheus text.
+        capsys.readouterr()
+        assert main([
+            "obs", "--input", str(snap_path), "--format", "prometheus",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repro_perf_events_total{" in out

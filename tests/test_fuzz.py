@@ -437,6 +437,23 @@ class TestEngineReplay:
             line for line in example.script if line.startswith("assume: ")
         ]
         assert 0 < len(assumed) <= config.replay_assumptions + 3
+        # Every counterexample carries its iteration's flight-recorder
+        # tail under the deterministic correlation ID, and the same ID
+        # is stamped on the iteration's span records — one corr value
+        # ties the failure, its events, and its timings together.
+        assert example.corr_id == f"fuzz-0-{example.iteration}"
+        assert example.journal
+        assert all(e["corr"] == example.corr_id for e in example.journal)
+        assert any(
+            e["kind"] == "oracle_verdict" for e in example.journal
+        )
+        from repro.obs import spans as obs_spans
+
+        corr_spans = [
+            s for s in obs_spans.snapshot()
+            if s.get("attrs", {}).get("corr") == example.corr_id
+        ]
+        assert corr_spans
         report_path = tmp_path / "FUZZ_report.json"
         report.write(str(report_path))
         record = json.loads(report_path.read_text())
@@ -445,6 +462,16 @@ class TestEngineReplay:
             c["failure"]["oracle"] == "engine_replay" and c["script"]
             for c in record["counterexamples"]
         )
+        # The journal tail survives the JSON round trip, and the report
+        # is stamped with run metadata and a span summary.
+        written = next(
+            c for c in record["counterexamples"]
+            if c["failure"]["oracle"] == "engine_replay"
+        )
+        assert written["corr_id"] == example.corr_id
+        assert written["journal"]
+        assert record["meta"]["command"] == "fuzz"
+        assert record["spans"]
 
 
 class TestInterpretationFuzzing:

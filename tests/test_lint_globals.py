@@ -36,8 +36,23 @@ class TestRepoIsClean:
             "repro/model/submsgs.py:_SEEN_MEMO",
             "repro/semantics/evaluator.py:_EVALUATORS",
             "repro/obs/spans.py:_RECORDER",
+            # Telemetry lives on the context too: no process-global
+            # metrics registry or journal ring, ever.
+            "repro/obs/metrics.py:_REGISTRY",
+            "repro/obs/journal.py:_JOURNAL",
+            "repro/obs/journal.py:_RING",
         }
         assert not removed & lint_globals.ALLOWLIST
+
+    def test_telemetry_modules_have_no_module_level_instances(self):
+        # ``ctx.metrics`` / ``ctx.journal`` are the only owners; the
+        # modules themselves must hold nothing but classes, constants,
+        # and context-delegating functions.
+        src = REPO_ROOT / "src"
+        for rel in ("repro/obs/metrics.py", "repro/obs/journal.py"):
+            violations, _used = lint_globals.check(src_root=src)
+            assert not any(v.startswith(f"{rel}:")
+                           for v in violations), violations
 
 
 class TestLintDetection:

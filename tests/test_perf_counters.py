@@ -90,8 +90,8 @@ class TestParallelSweepCounters:
         # the expected totals are the merged deltas.
         perf.reset_counters()
         for shard_system, group in shards:
-            _report, delta, _spans, _peaks = _sweep_shard(
-                shard_system, group, None, 12, False, 25
+            _report, delta, _spans, _peaks, _journal, _metrics = (
+                _sweep_shard(shard_system, group, None, 12, False, 25)
             )
             perf.merge_counters(delta)
         expected = self._eval_memo_events(perf.counters)
@@ -110,8 +110,8 @@ class TestParallelSweepCounters:
         system = generate_system(GeneratorConfig(seed=11))
         (shard_system, group) = self._shards(system, 1)[0]
         perf.count("preexisting.hit", 99)
-        _report, delta, span_delta, _peaks = _sweep_shard(
-            shard_system, group, None, 5, False, 25
+        _report, delta, span_delta, _peaks, _journal, _metrics = (
+            _sweep_shard(shard_system, group, None, 5, False, 25)
         )
         assert "preexisting.hit" not in delta
         assert any(event.startswith("compiled_eval.") for event in delta)
