@@ -496,6 +496,23 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, run_daemon
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_size=args.queue_size, max_batch=args.max_batch,
+        request_timeout_s=args.timeout,
+    )
+    try:
+        asyncio.run(run_daemon(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -625,6 +642,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_isolated(fuzz_parser)
 
+    serve_parser = sub.add_parser(
+        "serve", help="run the analysis daemon (HTTP over asyncio)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8642)
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent analysis workers (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="admission queue bound; beyond it requests get 429",
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=8,
+        help="max same-system requests batched into one engine context",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request execution timeout in seconds",
+    )
+
     sub.add_parser("cointoss", help="the Section 7 story (E5-E7)")
     sub.add_parser("experiments", help="run all E1-E14 assertions")
 
@@ -637,6 +676,7 @@ def main(argv: list[str] | None = None) -> int:
         "obs": _cmd_obs,
         "trace": _isolated(_cmd_trace),
         "fuzz": _isolated(_cmd_fuzz),
+        "serve": _cmd_serve,
         "cointoss": _cmd_cointoss,
         "experiments": _cmd_experiments,
     }

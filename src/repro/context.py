@@ -328,6 +328,13 @@ def fresh(name: str | None = None,
     explicit ``corr_id`` is given: ephemeral shard/iteration contexts
     stay attributable to the request that spawned them, which is how
     one correlation ID survives the delta-shipping transport.
+
+    Inheritance is right for *shards of one request* and wrong for
+    *sibling requests*: two requests fanned out from one parent would
+    share the parent's ID and their telemetry would be unattributable.
+    Anything serving concurrent requests (``repro.serve`` stamps
+    ``journal.new_corr_id()`` per accepted request) must pass an
+    explicit per-request ``corr_id`` here or via :func:`scoped`.
     """
     if corr_id is None:
         corr_id = current().corr_id
@@ -366,6 +373,13 @@ class use:
         self._token = None
 
 
-def scoped(name: str | None = None, memo_cap: int = DEFAULT_MEMO_CAP) -> use:
-    """``use(fresh(...))`` in one call: enter a brand-new context."""
-    return use(fresh(name, memo_cap))
+def scoped(name: str | None = None, memo_cap: int = DEFAULT_MEMO_CAP,
+           corr_id: str | None = None) -> use:
+    """``use(fresh(...))`` in one call: enter a brand-new context.
+
+    Pass ``corr_id`` when the scope is one *request among siblings*
+    (concurrent tasks fanned out from one parent): without it the new
+    context inherits the parent's correlation ID, which is the shard
+    contract, not the request contract.
+    """
+    return use(fresh(name, memo_cap, corr_id=corr_id))

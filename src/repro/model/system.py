@@ -7,6 +7,7 @@ primitive proposition to the set of points at which it is true.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping
 
@@ -17,6 +18,14 @@ from repro.terms.atoms import Key, Nonce, Principal, PrimitiveProposition, Sort
 from repro.terms.vocabulary import Vocabulary
 
 Point = tuple[Run, int]
+
+#: Monotonic :attr:`System.serial` source.  ``itertools.count`` is a C
+#: iterator, so ``next()`` is atomic under the GIL — no lock needed even
+#: when concurrent sessions construct systems.  Serials are never reused
+#: within a process, which is what makes them safe cache keys where
+#: ``id()`` was not: an ``id`` can be recycled by the allocator the
+#: moment its object is garbage collected.
+_SERIALS = itertools.count(1)
 
 _PredicateFn = Callable[[PrimitiveProposition, Run, int], bool]
 
@@ -119,13 +128,27 @@ class System:
             quantification (Section 8) and the soundness harness.  When
             omitted, a vocabulary is synthesized from the runs'
             principals, key sets, and parameter values.
+
+    Every instance additionally carries a process-unique monotonic
+    :attr:`serial` (excluded from equality/repr), assigned at
+    construction.  Session caches keyed per system — most importantly
+    the compiled-evaluation cache on
+    :class:`repro.context.EngineContext` — key by this serial rather
+    than ``id()``: after an eviction drops a cache's strong references,
+    a garbage-collected system's ``id()`` can be recycled for a new
+    system, silently aliasing the stale compilation; a serial never
+    recurs within a process.  Unpickled systems keep their origin
+    serial (two processes may therefore collide), so serial-keyed
+    caches must still verify identity on a hit.
     """
 
     runs: tuple[Run, ...]
     interpretation: Interpretation = field(default_factory=Interpretation.empty)
     vocabulary: Vocabulary = field(default_factory=Vocabulary)
+    serial: int = field(default=0, compare=False, repr=False)
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "serial", next(_SERIALS))
         if not self.runs:
             raise ModelError("a system needs at least one run")
         names = [run.name for run in self.runs]

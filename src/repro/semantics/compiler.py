@@ -659,17 +659,27 @@ def compiled_for(
 ) -> CompiledSystem:
     """The session's compiled view of a system (cached per context).
 
-    The cache key includes ``id(system)``; entries hold the system
-    strongly, so an id can never be reused while its entry is live.
+    The cache key is the system's process-unique monotonic
+    :attr:`~repro.model.system.System.serial` — **not** ``id()``.  The
+    cache's wholesale-clear eviction drops its strong references, after
+    which a garbage-collected system's ``id()`` can be recycled for a
+    brand-new system; an id-based key would then silently alias the
+    stale compilation.  Serials never recur within a process.  They
+    *can* recur across processes (an unpickled system keeps its origin
+    serial, and the receiving process mints its own), so a hit is
+    additionally verified by identity; a collision recompiles and
+    overwrites, counted under ``compiled_eval.serial_collision``.
     ``perf.clear_caches()`` / ``EngineContext.clear_session_caches()``
     empty the cache (the ``compiled_eval`` layer).
     """
     ctx = _context.current()
-    key = (id(system), goodruns, pattern_hide)
+    key = (system.serial, goodruns, pattern_hide)
     compiled = ctx.compiled_systems.get(key)
-    if compiled is not None and compiled.system is system:
-        perf.count("compiled_eval.system_hit")
-        return compiled
+    if compiled is not None:
+        if compiled.system is system:
+            perf.count("compiled_eval.system_hit")
+            return compiled
+        perf.count("compiled_eval.serial_collision")
     perf.count("compiled_eval.system_miss")
     compiled = CompiledSystem(system, goodruns, pattern_hide=pattern_hide)
     ctx.compiled_systems[key] = compiled

@@ -1,0 +1,21 @@
+"""Serving layer: the analysis daemon and its wire protocol.
+
+``python -m repro serve`` boots :class:`AnalysisDaemon`, an asyncio
+HTTP daemon that runs analysis requests in scoped engine contexts with
+bounded concurrency, request batching over shared compiled systems,
+per-request correlation IDs and telemetry, and graceful drain on
+shutdown.  See :mod:`repro.serve.daemon` for the concurrency story and
+:mod:`repro.serve.requests` for the request schema.
+"""
+
+from repro.serve.daemon import AnalysisDaemon, ServeConfig, run_daemon
+from repro.serve.requests import AnalysisRequest, RequestError, parse_request
+
+__all__ = [
+    "AnalysisDaemon",
+    "AnalysisRequest",
+    "RequestError",
+    "ServeConfig",
+    "parse_request",
+    "run_daemon",
+]

@@ -1,0 +1,83 @@
+"""A tiny synchronous client for the analysis daemon (stdlib only).
+
+Used by the load generator (``tools/bench_serve.py``), the test-suite,
+and anyone scripting against a local daemon without wanting an HTTP
+library.  One connection per call — the daemon's keep-alive exists for
+clients that want it, but the benchmark measures full request cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+
+class ServeClientError(RuntimeError):
+    """The daemon's response could not be read or parsed."""
+
+
+def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Any | None = None,
+    timeout: float = 60.0,
+) -> tuple[int, Any]:
+    """One HTTP exchange; returns ``(status, decoded body)``.
+
+    JSON bodies decode to Python values; anything else (``/metrics``)
+    comes back as ``str``.
+    """
+    body = b""
+    if payload is not None:
+        body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Connection: close\r\n"
+    )
+    if body:
+        head += f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
+    head += "\r\n"
+
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(head.encode("latin-1") + body)
+        raw = bytearray()
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw.extend(chunk)
+
+    header_end = raw.find(b"\r\n\r\n")
+    if header_end < 0:
+        raise ServeClientError("no header terminator in daemon response")
+    header_block = raw[:header_end].decode("latin-1")
+    lines = header_block.split("\r\n")
+    try:
+        status = int(lines[0].split(" ")[1])
+    except (IndexError, ValueError):
+        raise ServeClientError(f"malformed status line {lines[0]!r}")
+    headers = {}
+    for line in lines[1:]:
+        name, _sep, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    response_body = bytes(raw[header_end + 4:])
+    if headers.get("content-type", "").startswith("application/json"):
+        try:
+            return status, json.loads(response_body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeClientError(f"daemon sent invalid JSON: {exc}")
+    return status, response_body.decode("utf-8", errors="replace")
+
+
+def post_json(host: str, port: int, path: str, payload: Any,
+              timeout: float = 60.0) -> tuple[int, Any]:
+    return request(host, port, "POST", path, payload, timeout)
+
+
+def get(host: str, port: int, path: str,
+        timeout: float = 60.0) -> tuple[int, Any]:
+    return request(host, port, "GET", path, None, timeout)

@@ -1,0 +1,157 @@
+"""A minimal HTTP/1.1 layer over asyncio streams (stdlib only).
+
+The daemon speaks just enough HTTP for ``curl``, the load generator,
+and the test-suite clients: request line + headers + ``Content-Length``
+bodies in, JSON documents out, optional keep-alive.  Chunked transfer,
+multipart, and TLS are out of scope on purpose — the daemon fronts a
+research engine, not the public internet, and every byte of protocol
+machinery here is a byte the tests must pin.
+
+Hard limits keep a hostile or buggy client from ballooning memory:
+header blocks over :data:`MAX_HEADER_BYTES` and bodies over the
+configured cap are rejected with 431/413 before anything is buffered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Upper bound on the request line + header block, bytes.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Default upper bound on request bodies, bytes (configurable per daemon).
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request that cannot be served; carries the response status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed request (headers lower-cased, body raw bytes)."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> Any:
+        if not self.body:
+            raise HttpError(400, "empty body where JSON was expected")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> Request | None:
+    """Parse one request off the stream; None on clean connection close.
+
+    Raises :class:`HttpError` on malformed or over-limit requests (the
+    caller responds and closes) and lets transport-level exceptions
+    (``IncompleteReadError``, ``ConnectionResetError``) propagate — a
+    vanished client is not a request to answer.
+    """
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise HttpError(400, "truncated request")
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, f"header block exceeds {MAX_HEADER_BYTES} bytes")
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise HttpError(431, f"header block exceeds {MAX_HEADER_BYTES} bytes")
+
+    lines = header_block.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, path, _version = parts
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "non-integer Content-Length")
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > max_body_bytes:
+            raise HttpError(413, f"body exceeds {max_body_bytes} bytes")
+        if length:
+            body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked transfer encoding is not supported")
+    return Request(method, path, headers, body)
+
+
+def render_response(
+    status: int,
+    payload: Mapping[str, Any] | str,
+    keep_alive: bool = True,
+) -> bytes:
+    """One full response: JSON for mappings, text/plain for strings."""
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = "text/plain; charset=utf-8"
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        content_type = "application/json"
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Mapping[str, Any] | str,
+    keep_alive: bool = True,
+) -> None:
+    writer.write(render_response(status, payload, keep_alive))
+    await writer.drain()

@@ -518,8 +518,17 @@ def _sweep_parallel(
 
     Returns None when the workload cannot be parallelized safely — the
     schemas are unregistered, the systems do not pickle, or the platform
-    refuses to spawn workers — in which case the caller falls back to
-    the in-process sweep.
+    refuses to *spawn* workers — in which case the caller falls back to
+    the in-process sweep.  A worker that crashes **mid-shard** (its
+    exception arrives through ``future.result()``, after the pool
+    spawned fine) is a different animal: the original exception is
+    re-raised to the caller, and no shard telemetry is merged.  The two
+    used to share one ``except`` clause, so an ``OSError`` raised by a
+    poisoned shard triggered the in-process fallback *after* earlier
+    shards' counters and spans had already been folded in — a silent
+    partial merge double-counted by the fallback's own run.  All shard
+    results are therefore collected before anything merges: the merge
+    is all-or-nothing.
     """
     names = _schema_names(schemas)
     if not systems or names is None or not names:
@@ -532,15 +541,16 @@ def _sweep_parallel(
     shards = [
         (system, group) for system in systems for group in slices
     ]
-    perf.count("sweep.parallel_shards", len(shards))
     corr_id = context.current().corr_id
-    total = SweepReport()
-    try:
-        with spans.span("sweep.pool", shards=len(shards),
-                        workers=min(workers, len(shards))):
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(shards))
-            ) as pool:
+    with spans.span("sweep.pool", shards=len(shards),
+                    workers=min(workers, len(shards))):
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(shards)))
+        except (OSError, PermissionError):
+            # No subprocess support on this platform/sandbox.
+            return None
+        try:
+            try:
                 futures = [
                     pool.submit(
                         _sweep_shard, system, group, goodruns,
@@ -549,25 +559,34 @@ def _sweep_parallel(
                     )
                     for system, group in shards
                 ]
-                # Merge in submission order: (system, schema-slice) order
-                # matches the sequential sweep, so totals, violation
-                # lists, and renders are identical to workers=1.
-                for index, future in enumerate(futures):
-                    (report, counter_delta, span_delta, peaks,
-                     journal_delta, metrics_delta) = future.result()
-                    total.merge(report)
-                    perf.merge_counters(counter_delta)
-                    spans.merge(span_delta)
-                    perf.merge_cache_peaks(peaks)
-                    journal.merge(journal_delta)
-                    metrics.registry().merge(metrics_delta)
-                    journal.record(
-                        "shard_merge", shard=index,
-                        schemas=",".join(shards[index][1]),
-                        events=len(journal_delta),
-                        counters=len(counter_delta), spans=len(span_delta),
-                    )
-    except (OSError, PermissionError):
-        # No subprocess support on this platform/sandbox.
-        return None
+            except (OSError, PermissionError):
+                # The platform refused to fork/spawn the worker
+                # processes at submission time: fall back in-process.
+                # (Nothing has merged; shard contexts die unobserved.)
+                return None
+            perf.count("sweep.parallel_shards", len(shards))
+            # Collect every shard before merging any: a crash in shard
+            # k must not leave shards 0..k-1's telemetry behind.
+            results = [future.result() for future in futures]
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+    total = SweepReport()
+    # Merge in submission order: (system, schema-slice) order matches
+    # the sequential sweep, so totals, violation lists, and renders are
+    # identical to workers=1.
+    for index, shard_result in enumerate(results):
+        (report, counter_delta, span_delta, peaks,
+         journal_delta, metrics_delta) = shard_result
+        total.merge(report)
+        perf.merge_counters(counter_delta)
+        spans.merge(span_delta)
+        perf.merge_cache_peaks(peaks)
+        journal.merge(journal_delta)
+        metrics.registry().merge(metrics_delta)
+        journal.record(
+            "shard_merge", shard=index,
+            schemas=",".join(shards[index][1]),
+            events=len(journal_delta),
+            counters=len(counter_delta), spans=len(span_delta),
+        )
     return total

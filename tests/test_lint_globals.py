@@ -99,3 +99,26 @@ class TestLintDetection:
             "    table = {}\n"
         )
         assert self._scan(tmp_path, source) == []
+
+
+class TestServeCoverage:
+    """The serving layer is inside the lint's jurisdiction.
+
+    A daemon is exactly the long-lived process the no-module-globals
+    rule exists for: pin that ``serve/`` is scanned (its allowlisted
+    constants register as *used*) so a future serve module cannot
+    quietly grow a process-global request table.
+    """
+
+    def test_serve_allowlist_entries_are_exercised(self):
+        _violations, used = lint_globals.check()
+        assert "repro/serve/http.py:_REASONS" in used
+        assert "repro/serve/requests.py:_SYSTEM_KNOBS" in used
+
+    def test_planted_serve_global_is_flagged(self, tmp_path):
+        serve = tmp_path / "repro" / "serve"
+        serve.mkdir(parents=True)
+        (serve / "__init__.py").write_text("")
+        (serve / "bad.py").write_text("PENDING_REQUESTS = {}\n")
+        violations, _used = lint_globals.check(tmp_path)
+        assert any("repro/serve/bad.py" in v for v in violations)

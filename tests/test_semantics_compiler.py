@@ -311,3 +311,89 @@ class TestTracerParity:
                         formula, run, k, Tracer()
                     )
                     assert traced == compiled.evaluate(formula, run, k)
+
+
+class TestCompiledCacheKeying:
+    """The per-context compiled cache must never alias dead systems.
+
+    The cache used to key on ``id(system)``; after an entry's system
+    died (eviction elsewhere, gc) CPython readily hands the same
+    address to a new object, so a lookup could return a compilation of
+    a *previous* system.  Keys now use ``System.serial`` — a monotonic
+    in-process token that is never reused — with an identity check on
+    hit for the one remaining collision channel (unpickled systems keep
+    their origin serial).
+    """
+
+    def test_serials_unique_and_monotonic_across_equal_systems(self):
+        import gc
+
+        systems = [
+            generate_system(GeneratorConfig(seed=31, runs=2, steps_per_run=6))
+            for _ in range(3)
+        ]
+        serials = [s.serial for s in systems]
+        assert len(set(serials)) == len(serials)
+        assert serials == sorted(serials)
+        # Serials survive their system's death: a fresh system never
+        # reuses one, even when it lands on a recycled address.
+        dead_serial = systems[0].serial
+        del systems
+        gc.collect()
+        fresh = generate_system(
+            GeneratorConfig(seed=31, runs=2, steps_per_run=6)
+        )
+        assert fresh.serial != dead_serial
+
+    def test_id_reuse_after_death_yields_fresh_compilation(self):
+        import gc
+
+        with _context.scoped("id-reuse"):
+            # Churn create/compile/die cycles; address reuse is common
+            # here.  Under id() keying a recycled address aliased the
+            # dead entry; under serial keying every lookup must bind
+            # the live object.
+            for _ in range(10):
+                system = generate_system(
+                    GeneratorConfig(seed=32, runs=2, steps_per_run=6)
+                )
+                compiled = compiled_for(system, None)
+                assert compiled.system is system
+                del system, compiled
+                gc.collect()
+
+    def test_serial_collision_verifies_identity_on_hit(self):
+        from repro import perf
+
+        with _context.scoped("serial-collision"):
+            a = generate_system(
+                GeneratorConfig(seed=33, runs=2, steps_per_run=6)
+            )
+            b = generate_system(
+                GeneratorConfig(seed=34, runs=2, steps_per_run=6)
+            )
+            compiled_a = compiled_for(a, None)
+            # Simulate the cross-process channel: an unpickled system
+            # arriving with a serial some local system already holds.
+            object.__setattr__(b, "serial", a.serial)
+            before = perf.counters.get("compiled_eval.serial_collision", 0)
+            compiled_b = compiled_for(b, None)
+            assert compiled_b is not compiled_a
+            assert compiled_b.system is b
+            assert (
+                perf.counters["compiled_eval.serial_collision"] == before + 1
+            )
+            # The colliding slot now belongs to the live object.
+            assert compiled_for(b, None) is compiled_b
+
+    def test_unpickled_system_keeps_origin_serial(self):
+        import pickle
+
+        system = generate_system(
+            GeneratorConfig(seed=35, runs=2, steps_per_run=6)
+        )
+        revived = pickle.loads(pickle.dumps(system))
+        # This is why serial-keyed caches still verify identity on hit:
+        # dataclass pickling restores fields without __post_init__, so
+        # a shipped system collides with its origin's serial space.
+        assert revived.serial == system.serial

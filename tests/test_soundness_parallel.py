@@ -5,9 +5,14 @@ actually forward.
 
 from __future__ import annotations
 
+import os
 import pickle
 
+import pytest
+
+from repro import context
 from repro.logic import schema
+from repro.logic.axioms import AXIOMS, Schema
 from repro.model import RunBuilder, system_of
 from repro.model.system import Interpretation
 from repro.semantics.goodvectors import GoodRunVector
@@ -19,7 +24,11 @@ from repro.soundness import (
     sweep_system,
     sweep_systems,
 )
-from repro.soundness.sweep import _schema_names, _slice_names
+from repro.soundness.sweep import (
+    _schema_names,
+    _slice_names,
+    pool_from_system,
+)
 from repro.terms import Vocabulary, encrypted, group
 
 
@@ -156,3 +165,69 @@ class TestShardingHelpers:
                          lambda pool: iter(()))
         assert _schema_names((foreign,)) is None
         assert _schema_names((schema("A1"), schema("A2"))) == ("A1", "A2")
+
+
+class TestCrashSurfacing:
+    """A worker that crashes mid-shard must surface its exception.
+
+    Spawn refusal (no subprocess support) falls back in-process; a
+    crash *inside* a shard must not — the two used to share an
+    ``except (OSError, PermissionError)`` clause, so a poisoned shard
+    raising ``OSError`` silently fell back after earlier shards'
+    telemetry had already been merged (partial merge, then the
+    fallback's own run double-counted it).
+    """
+
+    def _poison_schema(self, parent_pid):
+        a1 = schema("A1")
+
+        def poisoned_enumerator(pool):
+            if os.getpid() != parent_pid:
+                raise OSError("poisoned shard: simulated worker crash")
+            return a1.enumerator(pool)
+
+        return Schema(
+            "ZZPOISON", "crashes only inside pool workers",
+            a1.builder, poisoned_enumerator,
+        )
+
+    def test_poisoned_shard_raises_instead_of_partial_merge(self, monkeypatch):
+        parent_pid = os.getpid()
+        poison = self._poison_schema(parent_pid)
+        # Registered so _schema_names accepts it; fork-started workers
+        # inherit the patched registry.  (Under a spawn start method the
+        # worker would fail to resolve the name — also an error, also
+        # surfaced, so the assertion below tolerates both shapes.)
+        monkeypatch.setitem(AXIOMS, "ZZPOISON", poison)
+        system = generate_system(GeneratorConfig(seed=5))
+
+        ctx = context.fresh("poison-sweep")
+        with context.use(ctx):
+            with pytest.raises(Exception) as excinfo:
+                sweep_system(
+                    system, schemas=(schema("A1"), poison),
+                    max_instances_per_schema=4, workers=2,
+                )
+        assert not isinstance(excinfo.value, AssertionError)
+
+        # All-or-nothing merge: the healthy A1 shard's telemetry must
+        # NOT have been folded in before the crash surfaced.
+        merged = ctx.journal_delta()
+        assert not any(e["kind"] == "shard_merge" for e in merged)
+        assert not any(
+            event.startswith("compiled_eval.") for event in ctx.counters
+        )
+        assert not any(
+            s["name"] == "sweep.schema" for s in ctx.span_delta()
+        )
+
+    def test_healthy_parent_enumerator_is_harmless(self):
+        # The poison only fires off-process; in the parent it must
+        # behave exactly like A1 (guards the test above against
+        # accidentally crashing the in-process path instead).
+        poison = self._poison_schema(os.getpid())
+        system = generate_system(GeneratorConfig(seed=5))
+        pool = pool_from_system(system)
+        assert list(poison.enumerator(pool)) == list(
+            schema("A1").enumerator(pool)
+        )

@@ -54,6 +54,8 @@ ALLOWLIST: frozenset[str] = frozenset(
         "repro/fuzz/mutators.py:MUTATORS",
         "repro/fuzz/proof_mutators.py:PROOF_MUTATORS",
         "repro/__main__.py:_PROTOCOLS",
+        "repro/serve/http.py:_REASONS",  # status -> reason phrase constants
+        "repro/serve/requests.py:_SYSTEM_KNOBS",  # wire-schema bounds
     }
 )
 
