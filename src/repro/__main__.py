@@ -11,9 +11,11 @@ Commands
     ``--explain`` also print the derivation tree of a goal, and with
     ``--certify`` compile the goal into a checked Hilbert proof.
 
-``sweep [--systems N] [--instances M] [--seed S] [--workers W] [--isolated]``
+``sweep [--systems N] [--instances M] [--seed S] [--workers W]
+[--backend NAME] [--isolated]``
     Run the empirical Theorem 1 soundness sweep (experiment E3);
-    ``--workers`` shards it over a process pool.
+    ``--workers`` shards it over a process pool and ``--backend``
+    selects the semantics backend (``belief`` or ``epistemic``).
 
 ``sweep``/``trace``/``fuzz`` accept ``--isolated``: run the whole
 command under a fresh :class:`repro.context.EngineContext`, so its
@@ -53,10 +55,12 @@ left behind in the process-default context).
     per-workload interpretation fuzzing, good-runs construction
     invariants (Theorem 2/3 support, monotonicity, idempotence, engine
     agreement, brute-force optimality), and a periodic
-    parallel-vs-sequential sweep comparison.  ``--oracles`` selects a
-    comma-separated subset of the families (default: all).  Writes a
-    JSON report (default ``FUZZ_report.json``) with shrunk
-    counterexamples.
+    parallel-vs-sequential sweep comparison, and the belief-vs-epistemic
+    cross-backend containment map.  ``--oracles`` selects a
+    comma-separated subset of the families (default: all) and
+    ``--backend`` picks the semantics backend the replay oracle audits
+    against.  Writes a JSON report (default ``FUZZ_report.json``) with
+    shrunk counterexamples.
 
 ``cointoss``
     Walk the Section 7 construction and optimality story (E5-E7).
@@ -174,6 +178,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_instances_per_schema=args.instances,
         workers=args.workers,
         engine=args.engine,
+        backend=args.backend,
     )
     print(report.render())
     for violation in report.essential_violations[:10]:
@@ -211,6 +216,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                     max_instances_per_schema=args.instances,
                     workers=args.workers,
                     engine=engine,
+                    backend=args.backend,
                 )
         # A second, identical sweep shows what the session caches
         # (interning, ops memos, hide views, compiled systems) buy on
@@ -222,6 +228,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                     max_instances_per_schema=args.instances,
                     workers=args.workers,
                     engine=engine,
+                    backend=args.backend,
                 )
         measurements[f"sweep_cold_{engine}_s"] = round(cold.seconds, 6)
         measurements[f"sweep_warm_{engine}_s"] = round(warm.seconds, 6)
@@ -303,9 +310,11 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "workers": args.workers,
             "engine": args.engine,
+            "backend": args.backend,
         },
         spans=spans.summary(),
-        meta=run_metadata(command="perf", workers=args.workers),
+        meta=run_metadata(command="perf", workers=args.workers,
+                          backend=args.backend),
     )
     print(f"wrote {args.output}")
     return 0 if not report.essential_violations else 1
@@ -455,6 +464,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         parallel_every=args.parallel_every,
         parallel_workers=args.workers,
         oracles=oracles,
+        backend=args.backend,
     )
     report = run_fuzz(config)
     print(report.render())
@@ -505,6 +515,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host, port=args.port, workers=args.workers,
         queue_size=args.queue_size, max_batch=args.max_batch,
         request_timeout_s=args.timeout,
+        default_backend=args.backend,
     )
     try:
         asyncio.run(run_daemon(config))
@@ -541,6 +552,11 @@ def main(argv: list[str] | None = None) -> int:
         "--engine", choices=["compiled", "interpreted"], default="compiled",
         help="evaluation engine for the sweep (default: compiled)",
     )
+    sweep_parser.add_argument(
+        "--backend", default="belief",
+        help="semantics backend from the context registry "
+             "(belief, epistemic; default: belief)",
+    )
     _add_isolated(sweep_parser)
 
     perf_parser = sub.add_parser(
@@ -554,6 +570,10 @@ def main(argv: list[str] | None = None) -> int:
         "--engine", choices=["compiled", "interpreted", "both"],
         default="both",
         help="which engine(s) to time (default: both, compiled first)",
+    )
+    perf_parser.add_argument(
+        "--backend", default="belief",
+        help="semantics backend the sweeps run under (default: belief)",
     )
     perf_parser.add_argument(
         "--output", default="BENCH_sweep.json",
@@ -637,8 +657,15 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_parser.add_argument(
         "--oracles", default="all",
         help="comma-separated oracle families to run (wf, differential, "
-             "parallel, engine_replay, proof_mutation, interpretation; "
+             "compiled, parallel, engine_replay, proof_mutation, "
+             "interpretation, goodruns_construction, cross_backend; "
              "default: all)",
+    )
+    fuzz_parser.add_argument(
+        "--backend", default="belief",
+        help="semantics backend the engine-replay oracle audits against "
+             "(the cross_backend oracle always compares belief vs. "
+             "epistemic; default: belief)",
     )
     _add_isolated(fuzz_parser)
 
@@ -662,6 +689,11 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument(
         "--timeout", type=float, default=30.0,
         help="per-request execution timeout in seconds",
+    )
+    serve_parser.add_argument(
+        "--backend", default="belief",
+        help="semantics backend for requests that do not name one "
+             "(default: belief)",
     )
 
     sub.add_parser("cointoss", help="the Section 7 story (E5-E7)")

@@ -153,6 +153,7 @@ class EngineContext:
         "_spans",
         "_journal",
         "_metrics",
+        "_backends",
         "__weakref__",
     )
 
@@ -180,6 +181,7 @@ class EngineContext:
         self._spans = None
         self._journal = None
         self._metrics = None
+        self._backends = None
 
     # -- lazily-built members --------------------------------------------------
 
@@ -225,6 +227,25 @@ class EngineContext:
 
             registry = MetricsRegistry()
             self._metrics = registry
+        return registry
+
+    @property
+    def backends(self):
+        """The context's semantics-backend registry (built on first use).
+
+        Context-owned for the same reason as every other registry: two
+        workloads in one process must be able to register experimental
+        backends without seeing each other's, and a module-level
+        registry would be exactly the mutable global state the
+        ``lint_globals`` check bans.  The built-in backends (``belief``,
+        ``epistemic``) are registered when the registry is first built.
+        """
+        registry = self._backends
+        if registry is None:
+            from repro.semantics.backend import default_registry
+
+            registry = default_registry()
+            self._backends = registry
         return registry
 
     # -- telemetry transport ---------------------------------------------------

@@ -54,11 +54,13 @@ from repro.fuzz.oracles import (
     OracleFailure,
     check_cache_differential,
     check_clean_system,
+    check_cross_backend,
     check_ground_path_differential,
     check_hide_differential,
     check_mutation,
     check_parallel_sweep,
     deintern,
+    sample_goodrun_vector,
 )
 from repro.fuzz.proof_mutators import (
     PROOF_MUTATORS,
@@ -98,11 +100,13 @@ __all__ = [
     "OracleFailure",
     "check_cache_differential",
     "check_clean_system",
+    "check_cross_backend",
     "check_ground_path_differential",
     "check_hide_differential",
     "check_mutation",
     "check_parallel_sweep",
     "deintern",
+    "sample_goodrun_vector",
     "PROOF_MUTATORS",
     "ProofMutation",
     "apply_random_proof_mutator",

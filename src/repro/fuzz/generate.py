@@ -28,8 +28,9 @@ from repro.terms.atoms import Sort
 #: injection/classification, the evaluator differentials, the
 #: compiled-vs-interpreted engine differential, the periodic
 #: parallel-sweep comparison, engine-vs-semantics derivation replay,
-#: adversarial proof mutation, interpretation fuzzing, and the
-#: good-runs construction invariants (Theorem 2/3 pipeline).
+#: adversarial proof mutation, interpretation fuzzing, the good-runs
+#: construction invariants (Theorem 2/3 pipeline), and the
+#: belief-vs-epistemic cross-backend differential (containment map).
 ORACLE_FAMILIES: tuple[str, ...] = (
     "wf",
     "differential",
@@ -39,6 +40,7 @@ ORACLE_FAMILIES: tuple[str, ...] = (
     "proof_mutation",
     "interpretation",
     "goodruns_construction",
+    "cross_backend",
 )
 
 
@@ -72,6 +74,10 @@ class FuzzConfig:
     #: Candidate-vector cap for the brute-force optimality cross-check
     #: (systems whose search space exceeds it skip that sub-oracle).
     goodruns_optimality_cap: int = 4096
+    #: Semantics backend the engine-replay workload audits against
+    #: (the cross-backend oracle always compares ``belief`` vs.
+    #: ``epistemic`` regardless).
+    backend: str = "belief"
 
 
 def iteration_rng(config: FuzzConfig, iteration: int) -> random.Random:

@@ -35,7 +35,7 @@ from repro.model.system import System
 from repro.obs import journal, metrics, run_metadata, spans
 from repro.obs.spans import summarize
 from repro.obs.trace import render_why, trace_evaluation
-from repro.semantics.compiler import compiled_for
+from repro.semantics.backend import get_backend
 
 from repro.fuzz.generate import (
     ORACLE_FAMILIES,
@@ -60,12 +60,14 @@ from repro.fuzz.oracles import (
     check_cache_differential,
     check_clean_system,
     check_compiled_differential,
+    check_cross_backend,
     check_ground_path_differential,
     check_hide_differential,
     check_mutation,
     check_parallel_sweep,
     classification_failure,
     sample_formulas,
+    sample_goodrun_vector,
     sample_points,
 )
 from repro.fuzz.proof_mutators import (
@@ -413,6 +415,92 @@ def _shrunk_goodruns_counterexample(
     )
 
 
+def _cross_backend_trace(
+    system: System, vector, failure: OracleFailure
+) -> list[str]:
+    """A belief-side why tree for a cross-backend disagreement.
+
+    Wrong-direction failures are exactly the points where the belief
+    semantics says *false* while the epistemic backend says *true*, so
+    the belief trace (relative to the shrunk vector) explains the side
+    the containment theorem claims should have held."""
+    if (
+        failure.formula is None
+        or failure.run_name is None
+        or failure.time is None
+    ):
+        return []
+    try:
+        from repro.terms.parser import parse_formula
+
+        formula = parse_formula(failure.formula, system.vocabulary)
+        run = system.run(failure.run_name)
+        _verdict, root = trace_evaluation(
+            system, formula, run, failure.time, goodruns=vector
+        )
+        return render_why(root).splitlines()
+    except Exception:  # pragma: no cover - diagnostics must not throw
+        return []
+
+
+def _shrunk_cross_backend_counterexample(
+    iteration: int,
+    failure: OracleFailure,
+    system: System,
+    formulas,
+    points,
+    vector,
+) -> Counterexample:
+    """Minimize the restricting good-run vector while the same formula
+    keeps disagreeing, then attach the belief why trace relative to the
+    minimal vector."""
+    from repro.semantics.goodvectors import GoodRunVector
+
+    kind = (failure.oracle, failure.formula)
+
+    def still_fails(candidate: GoodRunVector) -> bool:
+        return any(
+            (f.oracle, f.formula) == kind
+            for f in check_cross_backend(
+                system, formulas, points, goodruns=candidate
+            )
+        )
+
+    # Greedy entry deletion: dropping an entry *weakens* the
+    # restriction (absent principals default to all-runs-good), so the
+    # surviving entries are the ones the disagreement actually needs.
+    entries = dict(vector.entries)
+    changed = True
+    while changed:
+        changed = False
+        for principal in sorted(entries, key=str):
+            candidate_map = {
+                p: g for p, g in entries.items() if p != principal
+            }
+            if still_fails(GoodRunVector.of(candidate_map)):
+                entries = candidate_map
+                changed = True
+                break
+    minimal = GoodRunVector.of(entries)
+    shrunk = [
+        f
+        for f in check_cross_backend(
+            system, formulas, points, goodruns=minimal
+        )
+        if (f.oracle, f.formula) == kind
+    ]
+    witness = shrunk[0] if shrunk else failure
+    script = [f"vector: {minimal.describe()}"]
+    if witness.run_name is not None:
+        script += describe_run(system.run(witness.run_name))
+    return Counterexample(
+        iteration=iteration,
+        failure=witness,
+        script=script,
+        trace=_cross_backend_trace(system, minimal, witness),
+    )
+
+
 def _certified_proof(
     rng: random.Random, derivation: Derivation
 ) -> Proof | None:
@@ -457,7 +545,7 @@ def run_fuzz(
     report = FuzzReport(seed=config.seed)
     report.meta = run_metadata(
         command="fuzz", seed=config.seed, iterations=config.iterations,
-        oracles=sorted(enabled),
+        oracles=sorted(enabled), backend=config.backend,
     )
     iteration_seconds = metrics.registry().histogram(
         "fuzz_iteration_seconds", "Wall-clock per fuzz iteration."
@@ -577,7 +665,7 @@ def _fuzz_iteration(
 
     # Differential evaluator oracles on the (possibly benign-mutated)
     # well-formed system.
-    if enabled & {"differential", "compiled"}:
+    if enabled & {"differential", "compiled", "cross_backend"}:
         formulas = sample_formulas(
             rng, system, config.formulas_per_iteration
         )
@@ -635,6 +723,42 @@ def _fuzz_iteration(
                 )
             )
 
+    # Cross-backend containment map: the belief and epistemic backends
+    # are compared under a seeded restricting good-run vector (and
+    # again unrestricted), under both hide variants.  Agreement is not
+    # expected everywhere — belief-true/epistemic-false is the allowed
+    # direction of the guarded-defensible-knowledge containment — but
+    # error outcomes must match, belief-free formulas must agree
+    # exactly, and an epistemic-true/belief-false verdict on a
+    # belief-positive formula is a counterexample.
+    if "cross_backend" in enabled and formulas and points:
+        checks = len(formulas) * len(points) * 4
+        report.count_check("cross_backend", checks)
+        with spans.span("fuzz.cross_backend", checks=checks):
+            cross_vector = sample_goodrun_vector(rng, system)
+            cross_failures = (
+                check_cross_backend(system, formulas, points)
+                + check_cross_backend(
+                    system, formulas, points, pattern_hide=True
+                )
+                + check_cross_backend(
+                    system, formulas, points, goodruns=cross_vector
+                )
+                + check_cross_backend(
+                    system, formulas, points, goodruns=cross_vector,
+                    pattern_hide=True,
+                )
+            )
+        journal.record("oracle_verdict", oracle="cross_backend",
+                       checks=checks, failures=len(cross_failures))
+        for failure in cross_failures:
+            report.counterexamples.append(
+                _shrunk_cross_backend_counterexample(
+                    iteration, failure, system, formulas, points,
+                    cross_vector,
+                )
+            )
+
     # Good-runs construction invariants: a random I1 assumption vector
     # through the Theorem 2/3 pipeline.  The whole check — the
     # construction, both engines, and the brute-force optimality
@@ -681,7 +805,7 @@ def _fuzz_iteration(
         with spans.span("fuzz.engine_replay"):
             replay_run = rng.choice(system.runs)
             replay_k = rng.choice(list(replay_run.times))
-            replay_evaluator = compiled_for(system)
+            replay_evaluator = get_backend(config.backend).compile(system)
             assumptions = sample_assumptions(
                 rng, system, replay_evaluator, replay_run, replay_k,
                 config.replay_assumptions,

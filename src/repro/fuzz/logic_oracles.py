@@ -42,7 +42,7 @@ from repro.logic.proof import Proof
 from repro.logic.rules import standard_rules
 from repro.model.runs import Run
 from repro.model.system import System
-from repro.semantics.compiler import compiled_for
+from repro.semantics.backend import DEFAULT_BACKEND, get_backend
 from repro.semantics.evaluator import Evaluator
 from repro.soundness.audit import replay_derivation
 from repro.terms.atoms import Sort
@@ -178,19 +178,23 @@ def check_engine_replay(
     rules: Sequence[Rule] | None = None,
     max_facts: int = 4000,
     evaluator: "Evaluator | None" = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> tuple[list[OracleFailure], Derivation | None]:
     """Close the assumptions, replay every derived fact at ``(run, k)``.
 
     Returns the failures plus the derivation (for downstream proof
     mutation).  A closure that blows the ``max_facts`` resource bound
     is skipped — that is a capacity verdict, not a soundness one.
-    Replay defaults to the compiled engine (the adopted hot path); pass
-    an interpreter explicitly to replay against it instead.
+    Replay defaults to ``backend``'s compiled engine (the adopted hot
+    path); pass an evaluator explicitly to replay against it instead.
     """
     if not assumptions:
         return [], None
     active_rules = replay_rules() if rules is None else tuple(rules)
-    active_evaluator = evaluator if evaluator is not None else compiled_for(system)
+    active_evaluator = (
+        evaluator if evaluator is not None
+        else get_backend(backend).compile(system)
+    )
     engine = Engine(active_rules, max_facts=max_facts, max_prefix=3)
     pool = MessagePool(_seed_messages(assumptions))
     try:

@@ -167,6 +167,27 @@ def _mentions_belief(formula: Formula) -> bool:
     return any(isinstance(node, Believes) for node in walk(formula))
 
 
+def sample_goodrun_vector(rng: random.Random, system: System):
+    """A seeded, possibly-restricting good-run vector.
+
+    Unrestricted principals are skipped outright; restricted ones get a
+    strict subset of the run names — empty subsets included, because an
+    empty possibility set is exactly where the paper's belief clause
+    goes vacuous and the backends may legitimately diverge (the case
+    the cross-backend oracle exists to map).
+    """
+    from repro.semantics.goodvectors import GoodRunVector
+
+    names = sorted(run.name for run in system.runs)
+    assignment = {}
+    for principal in system.principals():
+        if rng.random() < 0.4:
+            continue
+        size = rng.randint(0, max(0, len(names) - 1))
+        assignment[principal] = frozenset(rng.sample(names, size))
+    return GoodRunVector.of(assignment)
+
+
 # ---------------------------------------------------------------------------
 # Interning / cache differentials
 # ---------------------------------------------------------------------------
@@ -412,6 +433,89 @@ def check_compiled_differential(
                         run_name=run.name, formula=str(formula), time=k,
                     )
                 )
+    return failures
+
+
+def check_cross_backend(
+    system: System,
+    formulas: Sequence[Formula],
+    points: Sequence[tuple[Run, int]],
+    goodruns=None,
+    pattern_hide: bool = False,
+    belief_backend: str = "belief",
+    epistemic_backend: str = "epistemic",
+) -> list[OracleFailure]:
+    """Belief vs. epistemic backends, mapped against the containment.
+
+    The two built-in backends share every clause except belief, and the
+    guarded defensible-knowledge reading is pointwise *stronger* there
+    (see :mod:`repro.semantics.epistemic`): at every point,
+    epistemic-true implies belief-true for the ``Believes`` clause, and
+    the implication lifts to every formula whose beliefs sit in
+    positive positions only.  The oracle therefore classifies each
+    divergence:
+
+    * error outcomes must match exactly (shared machinery);
+    * belief-free formulas must agree exactly (shared clauses);
+    * on belief-positive formulas, *epistemic-true / belief-false* is a
+      wrong-direction disagreement — a counterexample to the theorem;
+    * *belief-true / epistemic-false* is the expected direction (the
+      paper's vacuous beliefs that defensible knowledge refuses) and is
+      left alone, as are formulas with beliefs under negation.
+    """
+    from repro.errors import SemanticsError
+    from repro.semantics.backend import get_backend
+
+    failures = []
+    belief = get_backend(belief_backend).compile(
+        system, goodruns, pattern_hide=pattern_hide
+    )
+    epistemic = get_backend(epistemic_backend).compile(
+        system, goodruns, pattern_hide=pattern_hide
+    )
+    for formula in formulas:
+        belief_free = not _mentions_belief(formula)
+        monotone = not belief_free and not has_belief_under_negation(formula)
+        for run, k in points:
+            try:
+                b = (belief.evaluate(formula, run, k), None)
+            except SemanticsError as error:
+                b = (None, str(error))
+            try:
+                e = (epistemic.evaluate(formula, run, k), None)
+            except SemanticsError as error:
+                e = (None, str(error))
+            if b == e:
+                continue
+            if b[1] is not None or e[1] is not None:
+                failures.append(
+                    OracleFailure(
+                        "cross_backend",
+                        f"error outcomes diverged: belief={b}, epistemic={e}",
+                        run_name=run.name, formula=str(formula), time=k,
+                    )
+                )
+            elif belief_free:
+                failures.append(
+                    OracleFailure(
+                        "cross_backend",
+                        f"belief-free formula diverged: belief={b[0]}, "
+                        f"epistemic={e[0]} (all non-belief clauses are shared)",
+                        run_name=run.name, formula=str(formula), time=k,
+                    )
+                )
+            elif monotone and e[0] and not b[0]:
+                failures.append(
+                    OracleFailure(
+                        "cross_backend",
+                        "wrong-direction disagreement: epistemic "
+                        "(defensible knowledge) held where belief failed, "
+                        "violating the containment theorem",
+                        run_name=run.name, formula=str(formula), time=k,
+                    )
+                )
+            # belief-true/epistemic-false, and either-way movement under
+            # negative belief positions, are theorem-consistent.
     return failures
 
 

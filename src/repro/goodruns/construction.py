@@ -42,6 +42,11 @@ from repro.errors import AssumptionError
 from repro.goodruns.assumptions import InitialAssumptions
 from repro.obs import journal, spans
 from repro.model.system import System
+from repro.semantics.backend import (
+    DEFAULT_BACKEND,
+    SemanticsBackend,
+    get_backend,
+)
 from repro.semantics.compiler import compiled_for
 from repro.semantics.goodvectors import GoodRunVector
 from repro.semantics.vector_eval import VectorTruth
@@ -92,13 +97,28 @@ def construct_good_runs(
     assumptions: InitialAssumptions,
     pattern_hide: bool = False,
     engine: str = "worklist",
+    backend: str = DEFAULT_BACKEND,
 ) -> ConstructionResult:
-    """Run the paper's iterative construction over a finite system."""
+    """Run the paper's iterative construction over a finite system.
+
+    ``backend`` names a semantics backend in the current context's
+    registry.  The ``worklist`` engine's :class:`VectorTruth` bitset
+    algebra encodes the *belief* clause, so a backend that does not
+    advertise ``supports_vector_eval`` is demoted to the ``naive``
+    stage-by-stage engine (compiling through the backend's own
+    ``compile``), counted under ``goodruns.backend_forced_naive``.
+    """
     _validate_assumptions(system, assumptions)
+    resolved = get_backend(backend)
+    if engine == "worklist" and not resolved.supports_vector_eval:
+        perf.count("goodruns.backend_forced_naive")
+        journal.record("construction_demoted", backend=resolved.name,
+                       engine=engine)
+        engine = "naive"
     if engine == "worklist":
         return _construct_worklist(system, assumptions, pattern_hide)
     if engine == "naive":
-        return _construct_naive(system, assumptions, pattern_hide)
+        return _construct_naive(system, assumptions, pattern_hide, resolved)
     raise AssumptionError(
         f"unknown construction engine {engine!r}; expected one of {ENGINES}"
     )
@@ -108,8 +128,13 @@ def _construct_naive(
     system: System,
     assumptions: InitialAssumptions,
     pattern_hide: bool,
+    backend: SemanticsBackend | None = None,
 ) -> ConstructionResult:
     """The literal G^j loop: a fresh per-vector compilation per stage."""
+    compile_for = (
+        backend.compile if backend is not None
+        else get_backend(DEFAULT_BACKEND).compile
+    )
     all_names = frozenset(run.name for run in system.runs)
     current: dict[Principal, frozenset[str]] = {
         principal: all_names for principal in system.principals()
@@ -118,8 +143,8 @@ def _construct_naive(
 
     for depth in range(1, assumptions.max_depth + 1):
         previous_vector = stages[-1]
-        evaluator = compiled_for(system, previous_vector,
-                                 pattern_hide=pattern_hide)
+        evaluator = compile_for(system, previous_vector,
+                                pattern_hide=pattern_hide)
         updated: dict[Principal, frozenset[str]] = {}
         with spans.span("goodruns.stage", depth=depth,
                         engine="naive") as attrs:
@@ -245,6 +270,7 @@ def refine_once(
     vector: GoodRunVector,
     assumptions: InitialAssumptions,
     pattern_hide: bool = False,
+    backend: str = DEFAULT_BACKEND,
 ) -> GoodRunVector:
     """One application of *every* stratum relative to a fixed vector.
 
@@ -257,7 +283,11 @@ def refine_once(
     ``goodruns_construction`` fuzz family checks this mechanically.
     """
     _validate_assumptions(system, assumptions)
-    checker = VectorTruth(system, pattern_hide=pattern_hide)
+    resolved = get_backend(backend)
+    checker = (
+        VectorTruth(system, pattern_hide=pattern_hide)
+        if resolved.supports_vector_eval else None
+    )
     all_names = frozenset(run.name for run in system.runs)
     updated: dict[Principal, frozenset[str]] = {}
     for principal in system.principals():
@@ -265,9 +295,18 @@ def refine_once(
         good = all_names if good is None else good
         for formula in assumptions.normalized.get(principal, ()):
             assert isinstance(formula, Believes)
-            good, _ = _filter_good(
-                checker, system, vector, formula.body, good, pattern_hide
-            )
+            if checker is not None:
+                good, _ = _filter_good(
+                    checker, system, vector, formula.body, good, pattern_hide
+                )
+            else:
+                evaluator = resolved.compile(
+                    system, vector, pattern_hide=pattern_hide
+                )
+                good = frozenset(
+                    name for name in sorted(good)
+                    if evaluator.evaluate(formula.body, system.run(name), 0)
+                )
         updated[principal] = good
     return GoodRunVector.of(updated)
 
@@ -277,10 +316,13 @@ def supports(
     vector: GoodRunVector,
     assumptions: InitialAssumptions,
     pattern_hide: bool = False,
+    backend: str = DEFAULT_BACKEND,
 ) -> bool:
     """``G supports I``: every assumption holds at every time-0 point of
     the system, relative to G (Section 7)."""
-    return not unsupported_assumptions(system, vector, assumptions, pattern_hide)
+    return not unsupported_assumptions(
+        system, vector, assumptions, pattern_hide, backend
+    )
 
 
 def unsupported_assumptions(
@@ -288,10 +330,13 @@ def unsupported_assumptions(
     vector: GoodRunVector,
     assumptions: InitialAssumptions,
     pattern_hide: bool = False,
+    backend: str = DEFAULT_BACKEND,
 ) -> list[tuple[Principal, object, str]]:
     """The (principal, formula, run name) triples where support fails."""
     _validate_assumptions(system, assumptions)
-    evaluator = compiled_for(system, vector, pattern_hide=pattern_hide)
+    evaluator = get_backend(backend).compile(
+        system, vector, pattern_hide=pattern_hide
+    )
     failures = []
     for principal, formula in assumptions.all_formulas():
         for run in system.runs:

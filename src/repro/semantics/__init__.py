@@ -5,6 +5,20 @@ relative to a :class:`GoodRunVector` after blinding unreadable
 ciphertexts with :func:`hide_message`.
 """
 
+from repro.semantics.backend import (
+    DEFAULT_BACKEND,
+    BackendRegistry,
+    BeliefBackend,
+    SemanticsBackend,
+    backend_names,
+    get_backend,
+)
+from repro.semantics.epistemic import (
+    CompiledEpistemicSystem,
+    EpistemicBackend,
+    EpistemicEvaluator,
+    compiled_epistemic_for,
+)
 from repro.semantics.evaluator import Evaluator
 from repro.semantics.goodvectors import GoodRunVector
 from repro.semantics.hide import (
@@ -27,6 +41,16 @@ from repro.semantics.properties import (
 )
 
 __all__ = [
+    "DEFAULT_BACKEND",
+    "BackendRegistry",
+    "BeliefBackend",
+    "SemanticsBackend",
+    "backend_names",
+    "get_backend",
+    "CompiledEpistemicSystem",
+    "EpistemicBackend",
+    "EpistemicEvaluator",
+    "compiled_epistemic_for",
     "Evaluator",
     "GoodRunVector",
     "OPAQUE",

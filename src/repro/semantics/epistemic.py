@@ -1,0 +1,293 @@
+"""The ``epistemic`` backend: belief as guarded defensible knowledge.
+
+Halpern–van der Meyden–Pucella's program ("An Epistemic Foundation for
+Authentication Logics") reads BAN-style belief as a *knowledge-based*
+notion over the same runs-and-systems models: instead of the paper's
+primitive good-run vector clause, ``P believes φ`` is defined from the
+knowledge operator ``K_P`` (truth at every hidden-view-indistinguishable
+point) plus the principal's operating assumption α — here, "the current
+run is one of P's good runs".  This module implements that reading as a
+second :class:`~repro.semantics.backend.SemanticsBackend`, sharing the
+hiding kernels, the dense-bitset compiler, and every non-belief clause
+with the default ``belief`` backend, so the two differ in exactly one
+clause and nothing else.
+
+**The truth definition.**  Following the *guarded* Shoham–Moses form
+already exhibited in :mod:`repro.goodruns.defensible`::
+
+    B_P(φ, α)  =  K_P(α ⊃ φ)  ∧  (K_P ¬α ⊃ K_P φ)
+
+with α(r) = "r ∈ G_P".  Operationally, at a point (r, k):
+
+* let ``possible`` be every point of the system indistinguishable from
+  (r, k) under P's hidden view (runs where P has local state);
+* let ``good_possible = possible ∩ {points of P's good runs}`` — this
+  is exactly the paper's possibility set;
+* if ``good_possible`` is non-empty, require φ at each of its points —
+  this is ``K_P(α ⊃ φ)``, which coincides with the paper's belief
+  clause;
+* if ``good_possible`` is empty, P *knows* its assumptions are violated
+  (``K_P ¬α``); the guard then demands full knowledge: φ at **every**
+  point of ``possible``.
+
+**The containment theorem.**  Where the paper's belief clause is
+vacuously true (empty possibility set — "an agent that knows its
+assumptions are violated believes everything", the property Shoham and
+Moses call rather strange), the guarded clause demands knowledge.
+Everywhere else the two clauses are pointwise identical.  Hence at
+every point and for every body φ::
+
+    epistemic ⊨ (r,k) P believes φ   ⟹   belief ⊨ (r,k) P believes φ
+
+i.e. the defensible-knowledge beliefs are *contained in* the paper's
+beliefs — holding a belief under the epistemic backend is the stronger
+claim.  The implication lifts from the ``Believes`` clause to every
+formula in which belief occurs only positively (no ``Believes`` under
+an odd number of negations — :func:`repro.terms.ops.has_belief_under_negation`
+is the syntactic check), because all other clauses are shared and the
+connectives are monotone in positive positions.  Belief-free formulas
+agree exactly.  The ``cross_backend`` fuzz oracle
+(:mod:`repro.fuzz.oracles`) holds campaigns to precisely this map:
+*belief-true/epistemic-false* is an expected, theorem-consistent
+disagreement; *epistemic-true/belief-false* on a belief-positive
+formula is a counterexample.
+
+**Engineering shape.**  :class:`EpistemicEvaluator` subclasses the
+interpreter and overrides only ``_believes`` (plus a second possibility
+index over *all* runs for the knowledge guard).
+:class:`CompiledEpistemicSystem` subclasses the bitset compiler and
+overrides only ``_build_believes``: the compiler's per-view-class
+``(members, possible)`` pairs already carry both sets — ``members`` is
+the knowledge set (under the compiler's uniform-principal support gate
+every member point is indistinguishable to P), ``possible`` is the
+good-run subset — so the guarded clause is *still one subset test per
+view class*, and the sweep's whole-system ``truth_bits`` fast path
+works for this backend unchanged.
+"""
+
+from __future__ import annotations
+
+from repro import context as _context
+from repro import perf
+from repro.errors import SemanticsError
+from repro.model.runs import Run
+from repro.model.system import Point, System
+from repro.semantics.backend import SemanticsBackend
+from repro.semantics.compiler import CompiledSystem
+from repro.semantics.evaluator import Evaluator
+from repro.semantics.goodvectors import GoodRunVector
+from repro.semantics.hide import HiddenView
+from repro.terms.atoms import Principal
+from repro.terms.formulas import Believes, Formula
+
+
+class EpistemicEvaluator(Evaluator):
+    """The interpreter with belief read as guarded defensible knowledge.
+
+    Everything except the ``Believes`` clause — hiding, seeing, saying,
+    freshness, key goodness, quantification, memoization, tracing — is
+    inherited byte-for-byte from :class:`Evaluator`.  The override
+    keeps a second possibility index over *all* runs (the knowledge
+    relation) beside the inherited good-runs index.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        goodruns: GoodRunVector | None = None,
+        pattern_hide: bool = False,
+        tracer=None,
+    ) -> None:
+        super().__init__(
+            system, goodruns, pattern_hide=pattern_hide, tracer=tracer
+        )
+        self._knowledge: dict[Principal, dict[HiddenView, list[Point]]] = {}
+
+    def clear_memos(self) -> None:
+        super().clear_memos()
+        self._knowledge.clear()
+
+    # -- the knowledge relation ------------------------------------------------
+
+    def _knowledge_index(
+        self, principal: Principal
+    ) -> dict[HiddenView, list[Point]]:
+        """Bucket *every* run's points by hidden view (the K_P relation)."""
+        cached = self._knowledge.get(principal)
+        if cached is None:
+            cached = {}
+            for run in self.system.runs:
+                if (
+                    principal != run.environment
+                    and not run.is_system_principal(principal)
+                ):
+                    continue
+                for k in run.times:
+                    view = self._hidden_view(principal, run, k)
+                    cached.setdefault(view, []).append((run, k))
+            self._knowledge[principal] = cached
+        return cached
+
+    def knowledge_points(
+        self, principal: Principal, run: Run, k: int
+    ) -> tuple[Point, ...]:
+        """The points (r', k') with (r, k) ~_P (r', k'), all runs."""
+        if principal != run.environment and not run.is_system_principal(
+            principal
+        ):
+            raise SemanticsError(
+                f"{principal} has no local state in run {run.name!r}"
+            )
+        view = self._hidden_view(principal, run, k)
+        return tuple(self._knowledge_index(principal).get(view, ()))
+
+    # -- the guarded belief clause ----------------------------------------------
+
+    def _believes(
+        self, principal: Principal, body: Formula, run: Run, k: int
+    ) -> bool:
+        """B_P(φ, α) = K_P(α ⊃ φ) ∧ (K_P ¬α ⊃ K_P φ), α = "run is good".
+
+        The inherited ``possible_points`` *is* the α-satisfying subset
+        of the knowledge set; when it is non-empty the guard is moot
+        and the clause coincides with the paper's.  When it is empty
+        the paper's clause is vacuous and the guard demands knowledge.
+        """
+        good_possible = self.possible_points(principal, run, k)
+        if good_possible:
+            for other_run, other_k in good_possible:
+                if not self._eval(body, other_run, other_k):
+                    return False
+            return True
+        for other_run, other_k in self.knowledge_points(principal, run, k):
+            if not self._eval(body, other_run, other_k):
+                return False
+        return True
+
+
+class CompiledEpistemicSystem(CompiledSystem):
+    """The bitset compiler with the guarded belief clause.
+
+    A :class:`CompiledSystem` subclass on purpose: the soundness
+    sweep's fast path (``isinstance(engine, CompiledSystem)`` →
+    ``truth_bits`` against ``full_mask``) applies to this backend
+    without a special case, which is what keeps ``--backend epistemic``
+    sweeps at bitset speed.
+
+    Only the belief builder and the interpreter hooks differ.  The
+    per-view-class ``(members, possible)`` pairs computed by the base
+    class already contain both sets the guarded clause needs: under the
+    ``_supported`` uniform-principal gate, ``members`` is exactly the
+    principal's knowledge set for that view class, and ``possible`` its
+    good-run (α) subset.
+    """
+
+    @property
+    def interpreter(self) -> EpistemicEvaluator:
+        """The fallback interpreter — the *epistemic* one, so unsupported
+        shapes and foreign points keep this backend's semantics."""
+        if self._interpreter is None:
+            self._interpreter = EpistemicEvaluator(
+                self.system, self.goodruns, pattern_hide=self.pattern_hide
+            )
+        return self._interpreter
+
+    def evaluate_traced(self, formula: Formula, run: Run, k: int, tracer) -> bool:
+        traced = EpistemicEvaluator(
+            self.system, self.goodruns,
+            pattern_hide=self.pattern_hide, tracer=tracer,
+        )
+        return traced.evaluate(formula, run, k)
+
+    def _build_believes(self, formula: Believes):
+        principal = formula.principal
+        assert isinstance(principal, Principal)
+        body = self._compile(formula.body)
+
+        def compute() -> int:
+            body_bits = body()
+            bits = 0
+            for member_bits, possible_bits in self._belief_groups_for(principal):
+                # Non-empty α-subset: K_P(α ⊃ φ), identical to belief.
+                # Empty: the guard K_P¬α ⊃ K_Pφ bites — subset-test the
+                # whole view class (the knowledge set) instead.
+                target = possible_bits if possible_bits else member_bits
+                if target & body_bits == target:
+                    bits |= member_bits
+            return bits
+
+        return compute
+
+
+class EpistemicBackend(SemanticsBackend):
+    """Registry packaging of the epistemic semantics.
+
+    Compiled engines are cached on the same context-owned
+    ``ctx.compiled_systems`` memo as the belief backend's, under a
+    4-tuple key ``(serial, goodruns, pattern_hide, "epistemic")`` — the
+    belief cache keys are 3-tuples, so the two can never alias.
+
+    ``supports_vector_eval`` is ``False``: the worklist construction's
+    :class:`~repro.semantics.vector_eval.VectorTruth` algebra encodes
+    the *paper's* belief clause (subset test against the good-run
+    possibility set only), which diverges from the guarded clause
+    exactly on empty α-subsets, so the good-runs engine must take the
+    stage-by-stage compiled path under this backend.
+    """
+
+    name = "epistemic"
+    supports_tracing = True
+    supports_vector_eval = False
+
+    def compile(
+        self,
+        system: System,
+        goodruns: GoodRunVector | None = None,
+        pattern_hide: bool = False,
+    ) -> CompiledEpistemicSystem:
+        return compiled_epistemic_for(
+            system, goodruns, pattern_hide=pattern_hide
+        )
+
+    def interpreter(
+        self,
+        system: System,
+        goodruns: GoodRunVector | None = None,
+        pattern_hide: bool = False,
+        tracer=None,
+    ) -> EpistemicEvaluator:
+        return EpistemicEvaluator(
+            system, goodruns, pattern_hide=pattern_hide, tracer=tracer
+        )
+
+
+def compiled_epistemic_for(
+    system: System,
+    goodruns: GoodRunVector | None = None,
+    pattern_hide: bool = False,
+) -> CompiledEpistemicSystem:
+    """The session's compiled epistemic view of a system (context-cached).
+
+    Mirrors :func:`repro.semantics.compiler.compiled_for` — serial-keyed
+    with an identity check against cross-process serial recurrence —
+    with the backend name folded into the key.
+    """
+    ctx = _context.current()
+    key = (system.serial, goodruns, pattern_hide, EpistemicBackend.name)
+    compiled = ctx.compiled_systems.get(key)
+    if compiled is not None:
+        if compiled.system is system:
+            perf.count("compiled_eval.system_hit")
+            return compiled
+        perf.count("compiled_eval.serial_collision")
+    perf.count("compiled_eval.system_miss")
+    compiled = CompiledEpistemicSystem(system, goodruns, pattern_hide=pattern_hide)
+    ctx.compiled_systems[key] = compiled
+    from repro.obs import journal
+
+    journal.record(
+        "compile", backend=EpistemicBackend.name, runs=len(system.runs),
+        points=len(compiled.point_index),
+        goodruns=goodruns is not None, pattern_hide=pattern_hide,
+    )
+    return compiled

@@ -8,6 +8,7 @@ shutdown.  See :mod:`repro.serve.daemon` for the concurrency story and
 :mod:`repro.serve.requests` for the request schema.
 """
 
+from repro.serve.client import ServeClient, ServeClientError
 from repro.serve.daemon import AnalysisDaemon, ServeConfig, run_daemon
 from repro.serve.requests import AnalysisRequest, RequestError, parse_request
 
@@ -15,6 +16,8 @@ __all__ = [
     "AnalysisDaemon",
     "AnalysisRequest",
     "RequestError",
+    "ServeClient",
+    "ServeClientError",
     "ServeConfig",
     "parse_request",
     "run_daemon",

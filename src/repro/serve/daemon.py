@@ -66,6 +66,9 @@ class ServeConfig:
     shutdown_grace_s: float = 5.0
     max_body_bytes: int = http.DEFAULT_MAX_BODY_BYTES
     system_cache_size: int = 32
+    #: Semantics backend used when a request does not name one
+    #: (``python -m repro serve --backend ...``).
+    default_backend: str = "belief"
     #: Honour the ``delay_s`` request field (test hook for exercising
     #: timeouts and backpressure; never enable when facing clients).
     debug_delays: bool = False
@@ -475,7 +478,10 @@ class AnalysisDaemon:
         if self._draining:
             return 503, {"error": "daemon is draining; not accepting work"}
         try:
-            parsed = req_mod.parse_request(request.json())
+            parsed = req_mod.parse_request(
+                request.json(),
+                default_backend=self.config.default_backend,
+            )
         except http.HttpError as exc:
             return exc.status, {"error": exc.message}
         except req_mod.RequestError as exc:
@@ -502,6 +508,10 @@ class AnalysisDaemon:
             return 503, {"error": "daemon is draining; not accepting work"}
         self.root.counters["serve.accepted"] = (
             self.root.counters.get("serve.accepted", 0) + 1)
+        if parsed.kind == "system":
+            backend_counter = f"serve.backend.{parsed.backend}"
+            self.root.counters[backend_counter] = (
+                self.root.counters.get(backend_counter, 0) + 1)
         self.root.journal.record(
             "serve_accept", corr=corr_id, request_kind=parsed.kind,
             queued=len(self._queue),
@@ -518,6 +528,8 @@ class AnalysisDaemon:
             "cached_systems": len(self._systems),
             "cached_reports": len(self._reports),
             "corr_id": self.root.corr_id,
+            "default_backend": self.config.default_backend,
+            "backends": list(self.root.backends.names()),
         }
 
 

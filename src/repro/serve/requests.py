@@ -92,6 +92,10 @@ class AnalysisRequest:
     point: tuple[str, int] | None = None
     pattern_hide: bool = False
     trace: bool = False
+    #: Semantics backend the verdict is computed under.  Part of the
+    #: batching key: the compiled caches are keyed per backend, so a
+    #: batch only shares warm state when the backend matches too.
+    backend: str = "belief"
     # -- protocol requests ----------------------------------------------------
     protocol: str | None = None
     logic: str = "at"
@@ -104,11 +108,20 @@ class AnalysisRequest:
     def system_key(self) -> tuple:
         if self.kind == "protocol":
             return ("protocol", self.protocol, self.logic)
-        return ("system", self.seed, self.runs, self.steps, self.principals)
+        return ("system", self.seed, self.runs, self.steps,
+                self.principals, self.backend)
 
 
-def parse_request(payload: Any) -> AnalysisRequest:
-    """Validate a decoded JSON payload into an :class:`AnalysisRequest`."""
+def parse_request(payload: Any,
+                  default_backend: str = "belief") -> AnalysisRequest:
+    """Validate a decoded JSON payload into an :class:`AnalysisRequest`.
+
+    ``default_backend`` is the daemon's configured backend; a request
+    may override it with the ``backend`` field.  Only the field's
+    *shape* is checked here — whether the name resolves is decided at
+    execution time against the batch context's registry, whose
+    :class:`~repro.errors.EngineError` the daemon maps to a 400.
+    """
     _require(isinstance(payload, Mapping), "request body must be a JSON object")
     kind = payload.get("kind", "system")
     _require(kind in ("system", "protocol"),
@@ -171,12 +184,16 @@ def parse_request(payload: Any) -> AnalysisRequest:
     trace = payload.get("trace", False)
     _require(isinstance(pattern_hide, bool), "'pattern_hide' must be a boolean")
     _require(isinstance(trace, bool), "'trace' must be a boolean")
+    backend = payload.get("backend", default_backend)
+    _require(isinstance(backend, str) and bool(backend),
+             "'backend' must be a semantics backend name")
 
     return AnalysisRequest(
         kind="system", seed=seed, runs=runs, steps=steps,
         principals=principals, formula=formula,
         assumptions=tuple(assumptions), point=parsed_point,
-        pattern_hide=pattern_hide, trace=trace, delay_s=float(delay),
+        pattern_hide=pattern_hide, trace=trace, backend=backend,
+        delay_s=float(delay),
     )
 
 
@@ -256,19 +273,22 @@ def _execute_protocol(request: AnalysisRequest, report_for) -> dict[str, Any]:
 
 
 def _execute_system(request: AnalysisRequest, system_for) -> dict[str, Any]:
-    from repro.semantics.compiler import compiled_for
+    from repro.semantics.backend import get_backend
     from repro.terms.parser import parse_formula
 
+    backend = get_backend(request.backend)  # EngineError -> 400
     system = system_for(request)
     formula = parse_formula(request.formula, system.vocabulary)
     vector = _build_vector(request, system)
-    compiled = compiled_for(system, vector, pattern_hide=request.pattern_hide)
+    compiled = backend.compile(system, vector,
+                               pattern_hide=request.pattern_hide)
     points = list(system.points())
 
     document: dict[str, Any] = {
         "kind": "system",
         "seed": request.seed,
         "formula": str(formula),
+        "backend": backend.name,
         "points": len(points),
     }
     if request.point is not None:
@@ -301,6 +321,7 @@ def _execute_system(request: AnalysisRequest, system_for) -> dict[str, Any]:
         _verdict, root = trace_evaluation(
             system, formula, run, k,
             goodruns=vector, pattern_hide=request.pattern_hide,
+            backend=request.backend,
         )
         document["why_false"] = render_why(root)
     return document
@@ -333,7 +354,9 @@ def _build_vector(request: AnalysisRequest, system):
             formulas.append(formula)
         assignment[principal] = tuple(formulas)
     assumptions = InitialAssumptions.of(assignment)
-    return construct_good_runs(system, assumptions).vector
+    return construct_good_runs(
+        system, assumptions, backend=request.backend
+    ).vector
 
 
 def describe_error(exc: Exception) -> str:

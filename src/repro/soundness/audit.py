@@ -24,7 +24,8 @@ from repro.logic.engine import Derivation
 from repro.model.runs import Run
 from repro.model.system import System
 from repro.protocols.base import IdealizedProtocol
-from repro.semantics.compiler import CompiledSystem, compiled_for
+from repro.semantics.backend import DEFAULT_BACKEND, get_backend
+from repro.semantics.compiler import CompiledSystem
 from repro.semantics.evaluator import Evaluator
 from repro.terms.atoms import Principal
 from repro.terms.formulas import Believes, Formula
@@ -116,14 +117,22 @@ def audit_protocol(
     run_name: str,
     report: AnalysisReport | None = None,
     pattern_hide: bool = False,
+    backend: str = DEFAULT_BACKEND,
 ) -> AuditReport:
-    """Evaluate the protocol's goals against the model at the final point."""
+    """Evaluate the protocol's goals against the model at the final point.
+
+    ``backend`` selects the semantics the goals are replayed under; the
+    good-run construction and the goal evaluation both route through
+    it, so an epistemic audit is epistemic end to end.
+    """
     report = report or analyze(protocol)
+    resolved = get_backend(backend)
     assumptions = assumptions_vector(protocol).restrict_to(system)
     construction = construct_good_runs(system, assumptions,
-                                       pattern_hide=pattern_hide)
-    evaluator = compiled_for(system, construction.vector,
-                             pattern_hide=pattern_hide)
+                                       pattern_hide=pattern_hide,
+                                       backend=backend)
+    evaluator = resolved.compile(system, construction.vector,
+                                 pattern_hide=pattern_hide)
     run = system.run(run_name)
     time = run.end_time
     entries = []

@@ -27,7 +27,8 @@ from repro.obs import journal, metrics, spans
 from repro.logic.rules import transparent
 from repro.model.actions import Send
 from repro.model.system import System
-from repro.semantics.compiler import CompiledSystem, compiled_for
+from repro.semantics.backend import DEFAULT_BACKEND, get_backend
+from repro.semantics.compiler import CompiledSystem
 from repro.semantics.evaluator import Evaluator
 from repro.semantics.goodvectors import GoodRunVector
 from repro.terms.atoms import Key, Nonce, Principal, PrimitiveProposition, Sort
@@ -239,12 +240,22 @@ def _resolve_engine(
     goodruns: GoodRunVector | None,
     pattern_hide: bool,
     engine: str,
+    backend: str = DEFAULT_BACKEND,
 ):
+    """The sweep's evaluation engine: one registry lookup per sweep.
+
+    ``backend`` names a :class:`~repro.semantics.backend.SemanticsBackend`
+    in the current context's registry (unknown names raise
+    :class:`~repro.errors.EngineError`); ``engine`` picks its compiled
+    or interpreted shape.  Resolution happens once here — never on the
+    per-instance hot loop.
+    """
     if engine not in _ENGINES:
         raise ValueError(f"unknown sweep engine {engine!r} (use one of {_ENGINES})")
+    resolved = get_backend(backend)
     if engine == "compiled":
-        return compiled_for(system, goodruns, pattern_hide=pattern_hide)
-    return Evaluator(system, goodruns, pattern_hide=pattern_hide)
+        return resolved.compile(system, goodruns, pattern_hide=pattern_hide)
+    return resolved.interpreter(system, goodruns, pattern_hide=pattern_hide)
 
 
 def sweep_system(
@@ -256,6 +267,7 @@ def sweep_system(
     max_violations_per_schema: int = DEFAULT_MAX_VIOLATIONS_PER_SCHEMA,
     workers: int = 1,
     engine: str = DEFAULT_ENGINE,
+    backend: str = DEFAULT_BACKEND,
 ) -> SweepReport:
     """Model-check every schema instance at every point of one system.
 
@@ -270,12 +282,13 @@ def sweep_system(
         report = _sweep_parallel(
             (system,), resolved, goodruns, max_instances_per_schema,
             pattern_hide, max_violations_per_schema, workers, engine,
+            backend,
         )
         if report is not None:
             return report
     return _sweep_in_process(
         system, resolved, goodruns, max_instances_per_schema,
-        pattern_hide, max_violations_per_schema, engine,
+        pattern_hide, max_violations_per_schema, engine, backend,
     )
 
 
@@ -287,8 +300,9 @@ def _sweep_in_process(
     pattern_hide: bool,
     max_violations_per_schema: int,
     engine: str = DEFAULT_ENGINE,
+    backend: str = DEFAULT_BACKEND,
 ) -> SweepReport:
-    evaluator = _resolve_engine(system, goodruns, pattern_hide, engine)
+    evaluator = _resolve_engine(system, goodruns, pattern_hide, engine, backend)
     compiled = evaluator if isinstance(evaluator, CompiledSystem) else None
     pool = pool_from_system(system)
     report = SweepReport()
@@ -395,6 +409,7 @@ def sweep_systems(
     max_violations_per_schema: int = DEFAULT_MAX_VIOLATIONS_PER_SCHEMA,
     workers: int = 1,
     engine: str = DEFAULT_ENGINE,
+    backend: str = DEFAULT_BACKEND,
 ) -> SweepReport:
     """Merge sweeps over several systems (the E3 experiment driver).
 
@@ -410,6 +425,7 @@ def sweep_systems(
         report = _sweep_parallel(
             systems, resolved, goodruns, max_instances_per_schema,
             pattern_hide, max_violations_per_schema, workers, engine,
+            backend,
         )
         if report is not None:
             return report
@@ -418,7 +434,7 @@ def sweep_systems(
         total.merge(
             _sweep_in_process(
                 system, resolved, goodruns, max_instances_per_schema,
-                pattern_hide, max_violations_per_schema, engine,
+                pattern_hide, max_violations_per_schema, engine, backend,
             )
         )
     return total
@@ -468,6 +484,7 @@ def _sweep_shard(
     pattern_hide: bool,
     max_violations_per_schema: int,
     engine: str = DEFAULT_ENGINE,
+    backend: str = DEFAULT_BACKEND,
     corr_id: str | None = None,
 ) -> tuple[SweepReport, dict[str, int], list[dict], dict[str, int],
            list[dict], dict]:
@@ -497,7 +514,7 @@ def _sweep_shard(
         schemas = tuple(AXIOMS[name] for name in schema_names)
         report = _sweep_in_process(
             system, schemas, goodruns, max_instances_per_schema,
-            pattern_hide, max_violations_per_schema, engine,
+            pattern_hide, max_violations_per_schema, engine, backend,
         )
     return (report, shard_ctx.counter_delta(), shard_ctx.span_delta(),
             dict(shard_ctx.cache_peaks), shard_ctx.journal_delta(),
@@ -513,6 +530,7 @@ def _sweep_parallel(
     max_violations_per_schema: int,
     workers: int,
     engine: str = DEFAULT_ENGINE,
+    backend: str = DEFAULT_BACKEND,
 ) -> SweepReport | None:
     """Shard (system × schema slice) over a process pool.
 
@@ -555,7 +573,7 @@ def _sweep_parallel(
                     pool.submit(
                         _sweep_shard, system, group, goodruns,
                         max_instances_per_schema, pattern_hide,
-                        max_violations_per_schema, engine, corr_id,
+                        max_violations_per_schema, engine, backend, corr_id,
                     )
                     for system, group in shards
                 ]

@@ -122,3 +122,46 @@ class TestServeCoverage:
         (serve / "bad.py").write_text("PENDING_REQUESTS = {}\n")
         violations, _used = lint_globals.check(tmp_path)
         assert any("repro/serve/bad.py" in v for v in violations)
+
+
+class TestBackendCoverage:
+    """The semantics-backend seam stays context-owned.
+
+    PR 10's :class:`~repro.semantics.backend.BackendRegistry` lives on
+    ``EngineContext.backends``; pin that the backend modules scan clean
+    and that a module-level registry — the obvious regression — is
+    flagged.
+    """
+
+    def test_backend_modules_are_clean(self):
+        violations, _used = lint_globals.check()
+        offenders = [
+            v for v in violations
+            if v.startswith("repro/semantics/backend.py:")
+            or v.startswith("repro/semantics/epistemic.py:")
+            or v.startswith("repro/semantics/goodvectors.py:")
+            or v.startswith("repro/serve/client.py:")
+        ]
+        assert offenders == [], "\n".join(offenders)
+
+    def test_planted_module_level_registry_is_flagged(self, tmp_path):
+        semantics = tmp_path / "repro" / "semantics"
+        semantics.mkdir(parents=True)
+        (semantics / "__init__.py").write_text("")
+        (semantics / "bad_backend.py").write_text(
+            "_BACKENDS = {}\n"
+            "\n"
+            "def register(backend):\n"
+            "    _BACKENDS[backend.name] = backend\n"
+        )
+        violations, _used = lint_globals.check(tmp_path)
+        assert any(
+            "repro/semantics/bad_backend.py" in v and "_BACKENDS" in v
+            for v in violations
+        )
+
+    def test_registry_is_per_context(self):
+        from repro import context
+
+        first, second = context.fresh("lint-a"), context.fresh("lint-b")
+        assert first.backends is not second.backends

@@ -259,3 +259,90 @@ class TestGracefulShutdown:
             with pytest.raises(OSError):
                 # The listener is closed; new connections fail fast.
                 await _post(SMALL_SYSTEM, host, port)
+
+
+class TestBackends:
+    def test_backend_echoed_and_counted(self):
+        @_serve_test(ServeConfig())
+        async def daemon(daemon, host, port):
+            status, body = await _post(SMALL_SYSTEM, host, port)
+            assert status == 200
+            assert body["backend"] == "belief"
+            status, body = await _post(
+                dict(SMALL_SYSTEM, backend="epistemic"), host, port)
+            assert status == 200
+            assert body["backend"] == "epistemic"
+
+        assert daemon.root.counters.get("serve.backend.belief", 0) >= 1
+        assert daemon.root.counters.get("serve.backend.epistemic", 0) >= 1
+
+    def test_unknown_backend_is_a_clean_400(self):
+        @_serve_test(ServeConfig())
+        async def daemon(daemon, host, port):
+            status, body = await _post(
+                dict(SMALL_SYSTEM, backend="nosuch"), host, port)
+            assert status == 400, body
+            assert "unknown semantics backend 'nosuch'" in body["error"]
+            # Malformed shapes are rejected at parse time, before any
+            # registry lookup.
+            status, body = await _post(
+                dict(SMALL_SYSTEM, backend=7), host, port)
+            assert status == 400, body
+            assert "backend" in body["error"]
+            # The daemon is not poisoned.
+            status, _body = await _post(SMALL_SYSTEM, host, port)
+            assert status == 200
+
+    def test_config_default_backend_applies(self):
+        @_serve_test(ServeConfig(default_backend="epistemic"))
+        async def daemon(daemon, host, port):
+            status, body = await _post(SMALL_SYSTEM, host, port)
+            assert status == 200
+            assert body["backend"] == "epistemic"
+            # An explicit per-request backend still wins.
+            status, body = await _post(
+                dict(SMALL_SYSTEM, backend="belief"), host, port)
+            assert status == 200
+            assert body["backend"] == "belief"
+
+    def test_stats_lists_backends(self):
+        @_serve_test(ServeConfig())
+        async def daemon(daemon, host, port):
+            status, body = await _get("/stats", host, port)
+            assert status == 200
+            assert body["backends"] == ["belief", "epistemic"]
+            assert body["default_backend"] == "belief"
+
+    def test_backend_is_part_of_the_batch_key(self):
+        """Same generated system under different backends must not share
+        warm compiled state: the batch key includes the backend name."""
+        from repro.serve.requests import parse_request
+
+        belief = parse_request(dict(SMALL_SYSTEM))
+        epistemic = parse_request(dict(SMALL_SYSTEM, backend="epistemic"))
+        assert belief.system_key != epistemic.system_key
+
+
+class TestKeepAliveClient:
+    def test_connection_reuse_across_requests(self):
+        @_serve_test(ServeConfig())
+        async def daemon(daemon, host, port):
+            loop = asyncio.get_running_loop()
+
+            def exchange():
+                with client.ServeClient(host, port, timeout=120.0) as conn:
+                    for _ in range(4):
+                        status, body = conn.post_json("/analyze",
+                                                      SMALL_SYSTEM)
+                        assert status == 200
+                        assert body["backend"] == "belief"
+                    status, stats = conn.get("/stats")
+                    assert status == 200
+                    assert "backends" in stats
+                    return (conn.connections_opened, conn.requests_sent,
+                            conn.connections_reused)
+
+            opened, sent, reused = await loop.run_in_executor(None, exchange)
+            assert opened == 1
+            assert sent == 5
+            assert reused == 4

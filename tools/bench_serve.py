@@ -3,10 +3,12 @@
 
 Boots an in-process :class:`repro.serve.AnalysisDaemon`, drives it with
 ``--clients`` concurrent threads each issuing ``--requests`` analysis
-requests (same generated system, so the daemon's batching has something
-to batch), and writes ``BENCH_serve.json``: nearest-rank p50/p95/p99
-latency, sustained requests/s, error count, and the compiled-cache hit
-rate the batch sharing achieved.  Wired into ``tools/bench_gate.py``
+requests over one keep-alive :class:`repro.serve.ServeClient` apiece
+(same generated system, so the daemon's batching has something to
+batch), and writes ``BENCH_serve.json``: nearest-rank p50/p95/p99
+latency, sustained requests/s, error count, the compiled-cache hit
+rate the batch sharing achieved, and how many requests rode reused
+connections.  Wired into ``tools/bench_gate.py``
 (CI gates the latency percentiles against comparable history)::
 
     PYTHONPATH=src python tools/bench_serve.py --clients 4 --requests 25
@@ -41,21 +43,25 @@ def percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
-def _client_loop(host, port, payload, count, latencies, errors, barrier):
+def _client_loop(host, port, payload, count, latencies, errors, barrier,
+                 reuse):
+    conn = client.ServeClient(host, port, timeout=120.0)
     barrier.wait()
-    for _ in range(count):
-        started = time.perf_counter()
-        try:
-            status, _body = client.post_json(
-                host, port, "/analyze", payload, timeout=120.0)
-        except Exception as exc:  # noqa: BLE001 - any failure is an error
-            errors.append(repr(exc))
-            continue
-        elapsed = time.perf_counter() - started
-        if status == 200:
-            latencies.append(elapsed)
-        else:
-            errors.append(f"status {status}")
+    with conn:
+        for _ in range(count):
+            started = time.perf_counter()
+            try:
+                status, _body = conn.post_json("/analyze", payload)
+            except Exception as exc:  # noqa: BLE001 - any failure is an error
+                errors.append(repr(exc))
+                continue
+            elapsed = time.perf_counter() - started
+            if status == 200:
+                latencies.append(elapsed)
+            else:
+                errors.append(f"status {status}")
+        reuse.append((conn.connections_opened, conn.requests_sent,
+                      conn.connections_reused))
 
 
 def run_load(args) -> dict:
@@ -92,15 +98,17 @@ def run_load(args) -> dict:
         "runs": 2,
         "steps": 10,
         "formula": "P1 believes p0",
+        "backend": args.backend,
     }
     latencies: list[float] = []
     errors: list[str] = []
+    reuse: list[tuple[int, int, int]] = []
     barrier = threading.Barrier(args.clients + 1)
     clients = [
         threading.Thread(
             target=_client_loop,
             args=(host, port, payload, args.requests, latencies, errors,
-                  barrier),
+                  barrier, reuse),
             name=f"bench-client-{index}",
         )
         for index in range(args.clients)
@@ -135,6 +143,8 @@ def run_load(args) -> dict:
         if hits + misses else 0.0,
         "batches": counters.get("serve.batches", 0),
         "batched_requests": counters.get("serve.batched_requests", 0),
+        "connections_opened": sum(opened for opened, _sent, _r in reuse),
+        "connections_reused": sum(r for _opened, _sent, r in reuse),
     }
     return {
         "daemon": daemon,
@@ -155,6 +165,9 @@ def main(argv=None) -> int:
                         help="daemon batching width (default 8)")
     parser.add_argument("--seed", type=int, default=9,
                         help="generated-system seed all clients share")
+    parser.add_argument("--backend", default="belief",
+                        help="semantics backend every request names "
+                             "(default belief)")
     parser.add_argument("--output", default="BENCH_serve.json",
                         help="where to write the benchmark record")
     args = parser.parse_args(argv)
@@ -175,12 +188,14 @@ def main(argv=None) -> int:
                 "seed": args.seed,
                 "workers": args.workers,
                 "engine": "serve",
+                "backend": args.backend,
             },
             meta=run_metadata(
                 command="bench_serve",
                 clients=args.clients,
                 requests_per_client=args.requests,
                 workers=args.workers,
+                backend=args.backend,
             ),
         )
 
@@ -191,7 +206,9 @@ def main(argv=None) -> int:
           f"p50 {measurements['latency_p50_ms']}ms "
           f"p95 {measurements['latency_p95_ms']}ms "
           f"p99 {measurements['latency_p99_ms']}ms, "
-          f"compiled hit rate {measurements['compiled_hit_rate']}")
+          f"compiled hit rate {measurements['compiled_hit_rate']}, "
+          f"{measurements['connections_reused']} requests on reused "
+          f"connections ({measurements['connections_opened']} opened)")
     if result["errors"]:
         for error in result["errors"][:10]:
             print(f"bench_serve: error: {error}", file=sys.stderr)
